@@ -1,0 +1,386 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5), plus ablations for the design decisions called out in
+// DESIGN.md §5 and micro-benchmarks for each implementation pair a rule
+// trades between. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches report custom metrics (minheap-bytes, improve-%,
+// ...) alongside time; the timing comparisons of Fig. 7 are the benchmark
+// times themselves.
+package chameleon_test
+
+import (
+	"fmt"
+	"testing"
+
+	"chameleon/internal/adaptive"
+	"chameleon/internal/advisor"
+	"chameleon/internal/alloctx"
+	"chameleon/internal/collections"
+	"chameleon/internal/core"
+	"chameleon/internal/heap"
+	"chameleon/internal/profiler"
+	"chameleon/internal/spec"
+	"chameleon/internal/workloads"
+)
+
+const benchScale = 120
+
+func runWorkload(b *testing.B, name string, v workloads.Variant, cfg core.Config, scale int) *core.Session {
+	b.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewSession(cfg)
+	if spec.Run(s.Runtime(), v, scale) == 0 {
+		b.Fatal("zero checksum")
+	}
+	s.FinalGC()
+	return s
+}
+
+func profiledCfg() core.Config {
+	return core.Config{Mode: alloctx.Static, GCThreshold: 64 << 10}
+}
+
+func plainCfg() core.Config {
+	return core.Config{Mode: alloctx.Off, NoProfiling: true, GCThreshold: 64 << 10, DropSnapshots: true}
+}
+
+// BenchmarkFig2TVLAPotential regenerates the Fig. 2 series: profiled TVLA
+// run with per-cycle collection statistics.
+func BenchmarkFig2TVLAPotential(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		s := runWorkload(b, "tvla", workloads.Baseline, profiledCfg(), benchScale)
+		points = len(s.PotentialSeries())
+	}
+	b.ReportMetric(float64(points), "gc-cycles")
+}
+
+// BenchmarkFig3TopContexts regenerates the Fig. 3 report: profile TVLA and
+// run the rule engine.
+func BenchmarkFig3TopContexts(b *testing.B) {
+	var suggestions int
+	for i := 0; i < b.N; i++ {
+		s := runWorkload(b, "tvla", workloads.Baseline, profiledCfg(), benchScale)
+		rep, err := s.Report(advisor.Options{Top: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		suggestions = len(rep.Suggestions)
+	}
+	b.ReportMetric(float64(suggestions), "suggestions")
+}
+
+// BenchmarkFig6MinHeap regenerates the Fig. 6 table: per benchmark and
+// variant, the simulated minimal heap (reported as a metric).
+func BenchmarkFig6MinHeap(b *testing.B) {
+	for _, spec := range workloads.All() {
+		for _, v := range []workloads.Variant{workloads.Baseline, workloads.Tuned} {
+			spec, v := spec, v
+			b.Run(spec.Name+"/"+v.String(), func(b *testing.B) {
+				var minheap int64
+				var gcs int
+				for i := 0; i < b.N; i++ {
+					s := runWorkload(b, spec.Name, v, profiledCfg(), benchScale)
+					minheap = s.Heap.MinimalHeap()
+					gcs = s.Heap.Stats().NumGC
+				}
+				b.ReportMetric(float64(minheap), "minheap-bytes")
+				b.ReportMetric(float64(gcs), "gc-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7RunTime regenerates the Fig. 7 comparison: the plain
+// (unprofiled) run time of each benchmark variant — the benchmark time
+// itself is the measurement.
+func BenchmarkFig7RunTime(b *testing.B) {
+	for _, spec := range workloads.All() {
+		for _, v := range []workloads.Variant{workloads.Baseline, workloads.Tuned} {
+			spec, v := spec, v
+			b.Run(spec.Name+"/"+v.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runWorkload(b, spec.Name, v, plainCfg(), benchScale)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8BloatSpike regenerates the Fig. 8 series and reports the
+// spike height (peak collection share of live data).
+func BenchmarkFig8BloatSpike(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		s := runWorkload(b, "bloat", workloads.Baseline, profiledCfg(), benchScale)
+		peak = 0
+		for _, p := range s.PotentialSeries() {
+			if p.LivePct > peak {
+				peak = p.LivePct
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak-coll-%")
+}
+
+// BenchmarkSweepAdaptive regenerates the §2.3 threshold sweep: TVLA with
+// SizeAdaptingMaps at each conversion threshold.
+func BenchmarkSweepAdaptive(b *testing.B) {
+	for _, thr := range []int{2, 4, 8, 13, 16, 32} {
+		thr := thr
+		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
+			var minheap int64
+			for i := 0; i < b.N; i++ {
+				s := core.NewSession(plainCfg())
+				if workloads.RunTVLAAdaptive(s.Runtime(), thr, benchScale) == 0 {
+					b.Fatal("zero checksum")
+				}
+				s.FinalGC()
+				minheap = s.Heap.MinimalHeap()
+			}
+			b.ReportMetric(float64(minheap), "minheap-bytes")
+		})
+	}
+}
+
+// BenchmarkAutoOverhead regenerates the §5.4 comparison: each benchmark
+// under (a) the plain runtime and (b) the fully-automatic mode (dynamic
+// context capture + profiling + online replacement).
+func BenchmarkAutoOverhead(b *testing.B) {
+	autoCfg := core.Config{
+		Mode:          alloctx.Dynamic,
+		Online:        true,
+		OnlineOptions: adaptive.Options{MinEvidence: 32},
+		GCThreshold:   64 << 10,
+		DropSnapshots: true,
+	}
+	for _, name := range []string{"tvla", "pmd"} {
+		name := name
+		b.Run(name+"/plain", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, name, workloads.Baseline, plainCfg(), benchScale)
+			}
+		})
+		b.Run(name+"/auto", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, name, workloads.Baseline, autoCfg, benchScale)
+			}
+		})
+	}
+}
+
+// --- Ablation 1 (DESIGN.md §5): allocation-context capture cost. ---
+
+func BenchmarkContextCapture(b *testing.B) {
+	bench := func(b *testing.B, cfg collections.Config) {
+		rt := collections.NewRuntime(cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := collections.NewArrayList[int](rt, collections.At("site:1"))
+			l.Add(i)
+			l.Free()
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		bench(b, collections.Config{Mode: alloctx.Off})
+	})
+	b.Run("static", func(b *testing.B) {
+		bench(b, collections.Config{Mode: alloctx.Static, Profiler: profiler.New()})
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		bench(b, collections.Config{Mode: alloctx.Dynamic, Profiler: profiler.New()})
+	})
+	b.Run("dynamic-sampled-16", func(b *testing.B) {
+		bench(b, collections.Config{Mode: alloctx.Dynamic, SampleRate: 16, Profiler: profiler.New()})
+	})
+}
+
+// --- Ablation 2: partial-context depth (§3.2.1). ---
+
+func BenchmarkContextDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 8} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			rt := collections.NewRuntime(collections.Config{
+				Mode: alloctx.Dynamic, Depth: depth, Profiler: profiler.New(),
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := collections.NewArrayList[int](rt)
+				l.Add(i)
+				l.Free()
+			}
+		})
+	}
+}
+
+// --- Ablation 3: per-instance tracking (ObjectContextInfo) cost (§4.4). ---
+
+func BenchmarkPerInstanceTracking(b *testing.B) {
+	run := func(b *testing.B, rt *collections.Runtime) {
+		for i := 0; i < b.N; i++ {
+			m := collections.NewHashMap[int, int](rt, collections.At("t:1"))
+			for k := 0; k < 8; k++ {
+				m.Put(k, k)
+			}
+			for k := 0; k < 32; k++ {
+				m.Get(k % 8)
+			}
+			m.Free()
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, collections.NewRuntime(collections.Config{}))
+	})
+	b.Run("trace-only", func(b *testing.B) {
+		run(b, collections.NewRuntime(collections.Config{
+			Mode: alloctx.Static, Profiler: profiler.New(),
+		}))
+	})
+	b.Run("trace-and-heap", func(b *testing.B) {
+		prof := profiler.New()
+		h := heap.New(heap.Config{GCThreshold: 1 << 30, Observer: prof})
+		run(b, collections.NewRuntime(collections.Config{
+			Mode: alloctx.Static, Profiler: prof, Heap: h,
+		}))
+	})
+}
+
+// --- Ablation 4: GC semantic-map walk cost vs live-set size (§4.3). ---
+
+func BenchmarkGCSemanticWalk(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		n := n
+		b.Run(fmt.Sprintf("live=%d", n), func(b *testing.B) {
+			h := heap.New(heap.Config{GCThreshold: 1 << 40})
+			rt := collections.NewRuntime(collections.Config{Heap: h})
+			for i := 0; i < n; i++ {
+				m := collections.NewHashMap[int, int](rt)
+				m.Put(i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.GC()
+			}
+		})
+	}
+}
+
+// --- Ablation 5: full vs generational collector (§4.3.2). A long-lived
+// state space with ongoing allocation churn is where minor cycles pay. ---
+
+func BenchmarkGCGenerational(b *testing.B) {
+	for _, gen := range []bool{false, true} {
+		name := "full"
+		if gen {
+			name = "generational"
+		}
+		gen := gen
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					Mode:          alloctx.Off,
+					NoProfiling:   true,
+					GCThreshold:   32 << 10,
+					DropSnapshots: true,
+					Generational:  gen,
+				}
+				runWorkload(b, "tvla", workloads.Baseline, cfg, benchScale)
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks: the implementation pairs the rules trade between. ---
+
+func BenchmarkMapGet(b *testing.B) {
+	for _, size := range []int{4, 16, 64} {
+		for _, kind := range []spec.Kind{spec.KindHashMap, spec.KindOpenHashMap, spec.KindArrayMap} {
+			size, kind := size, kind
+			b.Run(fmt.Sprintf("%v/n=%d", kind, size), func(b *testing.B) {
+				m := collections.NewHashMap[int, int](collections.Plain(), collections.Impl(kind), collections.Cap(size))
+				for i := 0; i < size; i++ {
+					m.Put(i, i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := m.Get(i % size); !ok {
+						b.Fatal("miss")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	for _, size := range []int{4, 16, 64} {
+		for _, kind := range []spec.Kind{spec.KindHashSet, spec.KindOpenHashSet, spec.KindArraySet} {
+			size, kind := size, kind
+			b.Run(fmt.Sprintf("%v/n=%d", kind, size), func(b *testing.B) {
+				s := collections.NewHashSet[int](collections.Plain(), collections.Impl(kind), collections.Cap(size))
+				for i := 0; i < size; i++ {
+					s.Add(i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if !s.Contains(i % size) {
+						b.Fatal("miss")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkListAppend(b *testing.B) {
+	for _, kind := range []spec.Kind{spec.KindArrayList, spec.KindLinkedList, spec.KindSinglyLinkedList, spec.KindLazyArrayList} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l := collections.NewArrayList[int](collections.Plain(), collections.Impl(kind))
+				for k := 0; k < 64; k++ {
+					l.Add(k)
+				}
+				l.Free()
+			}
+		})
+	}
+}
+
+func BenchmarkListRandomAccess(b *testing.B) {
+	for _, kind := range []spec.Kind{spec.KindArrayList, spec.KindLinkedList} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			l := collections.NewArrayList[int](collections.Plain(), collections.Impl(kind))
+			for k := 0; k < 256; k++ {
+				l.Add(k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if l.Get(i%256) != i%256 {
+					b.Fatal("wrong element")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuleEvaluation measures the rule engine itself over a profiled
+// snapshot (the per-report cost of the Table 2 rule set).
+func BenchmarkRuleEvaluation(b *testing.B) {
+	s := runWorkload(b, "tvla", workloads.Baseline, profiledCfg(), benchScale)
+	profiles := s.Prof.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := advisor.Advise(profiles, advisor.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(profiles)), "contexts")
+}

@@ -1,0 +1,258 @@
+// Command chameleon-rules is the toolchain for the Fig. 4 selection-rule
+// language:
+//
+//	chameleon-rules fmt   <rules.cham>                 # parse + pretty-print
+//	chameleon-rules check <rules.cham> [-param X=32]   # static checks
+//	chameleon-rules eval  <rules.cham> -profile p.json # offline rule run
+//	chameleon-rules explain <rules.cham> -profile p.json -context substr
+//	                                                   # trace why rules fire or not
+//	chameleon-rules builtin [-extended]                # print the shipped sets
+//
+// The eval subcommand consumes a profile snapshot written by
+// `chameleon -profile-out` and prints the suggestion report without
+// re-running the program — the offline half of the paper's workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chameleon/internal/advisor"
+	"chameleon/internal/profiler"
+	"chameleon/internal/rules"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "fmt":
+		cmdFmt(os.Args[2:])
+	case "check":
+		cmdCheck(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "builtin":
+		cmdBuiltin(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: chameleon-rules fmt|check|eval|explain|builtin [args]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chameleon-rules:", err)
+	os.Exit(1)
+}
+
+// paramFlags collects repeated -param NAME=VALUE flags on top of the
+// default environment.
+type paramFlags struct{ params rules.Params }
+
+func (p *paramFlags) String() string { return fmt.Sprint(p.params) }
+
+func (p *paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	p.params[strings.TrimSpace(name)] = v
+	return nil
+}
+
+func newParams() *paramFlags {
+	p := &paramFlags{params: rules.Params{}}
+	for k, v := range rules.DefaultParams {
+		p.params[k] = v
+	}
+	return p
+}
+
+// splitFile accepts the rules file either as the leading argument
+// ("eval rules.cham -profile p.json") or as the trailing positional after
+// flags ("eval -profile p.json rules.cham"); Go's flag package handles the
+// latter natively, so only the leading form needs peeling off.
+func splitFile(args []string) (file string, rest []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+func loadRules(path string) *rules.RuleSet {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	rs, err := rules.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return rs
+}
+
+func cmdFmt(args []string) {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	write := fs.Bool("w", false, "write the formatted output back to the file")
+	path, rest := splitFile(args)
+	fs.Parse(rest)
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fatal(fmt.Errorf("fmt: expected one rules file"))
+	}
+	rs := loadRules(path)
+	out := rules.Print(rs)
+	if *write {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(out)
+}
+
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	params := newParams()
+	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
+	path, rest := splitFile(args)
+	fs.Parse(rest)
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fatal(fmt.Errorf("check: expected one rules file"))
+	}
+	rs := loadRules(path)
+	errs := rules.Check(rs, params.params)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("%d rules OK; parameters referenced: %v\n", len(rs.Rules), rules.ParamsOf(rs))
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	profilePath := fs.String("profile", "", "profile snapshot JSON (from chameleon -profile-out)")
+	top := fs.Int("top", 10, "show the top-K contexts")
+	minPotential := fs.Int64("min-potential", 0, "suppress space replacements below this potential (bytes; -1 disables)")
+	params := newParams()
+	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
+	path, rest := splitFile(args)
+	fs.Parse(rest)
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" || *profilePath == "" {
+		fatal(fmt.Errorf("eval: expected a rules file and -profile snapshot"))
+	}
+	rs := loadRules(path)
+	if errs := rules.Check(rs, params.params); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		os.Exit(1)
+	}
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	profiles, err := profiler.ReadProfiles(f)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := advisor.Advise(profiles, advisor.Options{
+		Rules:        rs,
+		Params:       params.params,
+		Top:          *top,
+		MinPotential: *minPotential,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Format())
+}
+
+// cmdExplain traces rule evaluation against a profiled context: why each
+// rule fired or did not.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	profilePath := fs.String("profile", "", "profile snapshot JSON (from chameleon -profile-out)")
+	ctxSubstr := fs.String("context", "", "substring selecting the context(s) to explain")
+	firedOnly := fs.Bool("fired", false, "show only rules that fired")
+	params := newParams()
+	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
+	path, rest := splitFile(args)
+	fs.Parse(rest)
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" || *profilePath == "" {
+		fatal(fmt.Errorf("explain: expected a rules file and -profile snapshot"))
+	}
+	rs := loadRules(path)
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	profiles, err := profiler.ReadProfiles(f)
+	if err != nil {
+		fatal(err)
+	}
+	opts := rules.EvalOptions{Params: params.params}
+	shown := 0
+	for _, p := range profiles {
+		if *ctxSubstr != "" && !strings.Contains(p.Context.String(), *ctxSubstr) {
+			continue
+		}
+		fmt.Printf("context: %s (declared %s, avgMaxSize %.1f, potential %d)\n",
+			p.Context, p.Declared, p.MaxSizeAvg, p.Potential())
+		for _, r := range rs.Rules {
+			ex := rules.Explain(r, p, opts)
+			if *firedOnly && !ex.Fired {
+				continue
+			}
+			if !ex.SrcMatched && *ctxSubstr == "" {
+				continue // keep unfiltered output readable
+			}
+			fmt.Print(ex.String())
+		}
+		fmt.Println()
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(os.Stderr, "chameleon-rules: no contexts matched")
+	}
+}
+
+func cmdBuiltin(args []string) {
+	fs := flag.NewFlagSet("builtin", flag.ExitOnError)
+	extended := fs.Bool("extended", false, "include the extension rules (SinglyLinkedList, open addressing)")
+	fs.Parse(args)
+	if *extended {
+		fmt.Print(rules.Print(rules.Extended()))
+		return
+	}
+	fmt.Print(rules.Print(rules.Builtin()))
+}

@@ -1,0 +1,216 @@
+// Command chameleon runs a workload under semantic collections profiling
+// and prints the ranked per-context report with rule-engine suggestions —
+// the tool's primary user-facing output (paper §2.1).
+//
+// Usage:
+//
+//	chameleon -workload tvla [-scale N] [-top K] [-rules file] [-json]
+//	          [-mode static|dynamic|off] [-online] [-gc-threshold bytes]
+//	chameleon -list
+//	chameleon -print-rules
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"chameleon/internal/advisor"
+	"chameleon/internal/alloctx"
+	"chameleon/internal/core"
+	"chameleon/internal/experiments"
+	"chameleon/internal/heap"
+	"chameleon/internal/profiler"
+	"chameleon/internal/rules"
+	"chameleon/internal/workloads"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "tvla", "workload to profile (see -list)")
+		scale       = flag.Int("scale", 0, "workload scale (0 = workload default)")
+		top         = flag.Int("top", 10, "show the top-K contexts")
+		rulesFile   = flag.String("rules", "", "file of selection rules (default: built-in Table 2 rules)")
+		asJSON      = flag.Bool("json", false, "emit the suggestion report as JSON")
+		mode        = flag.String("mode", "static", "allocation-context capture: static, dynamic or off")
+		online      = flag.Bool("online", false, "enable fully-automatic online replacement (§3.3.2)")
+		gcThreshold = flag.Int64("gc-threshold", 64<<10, "simulated-GC threshold in bytes")
+		variant     = flag.String("variant", "baseline", "workload variant: baseline or tuned")
+		list        = flag.Bool("list", false, "list available workloads")
+		printRules  = flag.Bool("print-rules", false, "print the built-in rule set and exit")
+		series      = flag.Bool("series", false, "also print the per-GC-cycle potential series (Fig. 2 view)")
+		ctxSeries   = flag.Int("context-series", 0, "also print the per-cycle series of the top-K contexts (§4.4)")
+		profileOut  = flag.String("profile-out", "", "write the profile snapshot as JSON (for chameleon-rules eval)")
+		compare     = flag.Bool("compare", false, "run baseline AND tuned, print per-context gains (§5.2 step 5)")
+		plan        = flag.Bool("plan", false, "profile, derive a plan from the report, re-run with it applied (§3.3.2)")
+		extended    = flag.Bool("extended", false, "use the extended rule set (SinglyLinkedList, open addressing)")
+		gen         = flag.Bool("generational", false, "use the generational simulated collector")
+	)
+	flag.Parse()
+
+	if *printRules {
+		fmt.Print(rules.Print(rules.Builtin()))
+		return
+	}
+	if *list {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	spec, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	if *scale <= 0 {
+		*scale = spec.DefaultScale
+	}
+	v := workloads.Baseline
+	if *variant == "tuned" {
+		v = workloads.Tuned
+	}
+
+	var ctxMode alloctx.Mode
+	switch *mode {
+	case "static":
+		ctxMode = alloctx.Static
+	case "dynamic":
+		ctxMode = alloctx.Dynamic
+	case "off":
+		ctxMode = alloctx.Off
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	ruleSet := rules.Builtin()
+	if *extended {
+		ruleSet = rules.Extended()
+	}
+	if *rulesFile != "" {
+		src, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			fatal(err)
+		}
+		ruleSet, err = rules.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if errs := rules.Check(ruleSet, rules.DefaultParams); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "chameleon: rule check:", e)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *compare {
+		runCompare(spec, *scale, ctxMode, *gcThreshold, *gen)
+		return
+	}
+	if *plan {
+		res, err := experiments.ProfileThenApply(spec.Name, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatPlanResult(res))
+		return
+	}
+
+	s := core.NewSession(core.Config{
+		Mode:         ctxMode,
+		GCThreshold:  *gcThreshold,
+		Online:       *online,
+		Generational: *gen,
+		KeepContexts: *ctxSeries > 0,
+	})
+	fmt.Fprintf(os.Stderr, "chameleon: running %s (%s, scale %d, %s contexts, online=%v)\n",
+		spec.Name, v, *scale, ctxMode, *online)
+	checksum := spec.Run(s.Runtime(), v, *scale)
+	s.FinalGC()
+
+	st := s.Heap.Stats()
+	fmt.Printf("run complete: checksum=%#x\n", checksum)
+	fmt.Printf("heap: peak live=%d bytes, minimal heap=%d bytes, GC cycles=%d, allocated=%d bytes\n",
+		st.PeakLive, s.Heap.MinimalHeap(), st.NumGC, st.TotalAllocated)
+	fmt.Printf("collections: max live=%d used=%d core=%d bytes (%d objects max)\n\n",
+		st.MaxCollections.Live, st.MaxCollections.Used, st.MaxCollections.Core, st.MaxCollectionNo)
+
+	if *series {
+		fmt.Println("per-cycle potential series (Fig. 2 view):")
+		fmt.Print(experiments.FormatSeries(s.PotentialSeries(), len(s.PotentialSeries())/40+1))
+		fmt.Println()
+	}
+
+	if *ctxSeries > 0 {
+		fmt.Printf("per-context series, top %d by peak live (§4.4):\n", *ctxSeries)
+		cs := experiments.TopContextSeries(s, *ctxSeries)
+		fmt.Print(experiments.FormatContextSeries(cs, len(s.Heap.Snapshots())/20+1))
+		cycle, dist := experiments.PeakTypeDistribution(s)
+		fmt.Printf("type distribution at peak cycle %d: %s\n\n", cycle, heap.FormatTypeDist(dist))
+	}
+
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := profiler.WriteProfiles(f, s.Prof.Snapshot()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chameleon: profile snapshot written to %s\n", *profileOut)
+	}
+
+	rep, err := s.Report(advisor.Options{Rules: ruleSet, Top: *top})
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("top %d allocation contexts (Fig. 3 view):\n", *top)
+	fmt.Print(rep.FormatTopContexts(*top))
+	fmt.Println("\nsuggestions (§2.1 report):")
+	fmt.Print(rep.Format())
+	if s.Selector != nil {
+		fmt.Printf("\nonline mode: %d allocations received a replaced implementation\n", s.Selector.Replacements())
+	}
+}
+
+// runCompare executes the §5.2 step 5 comparison: profile the baseline and
+// the tuned variant, then print per-context gains and the overall
+// minimal-heap change.
+func runCompare(spec workloads.Spec, scale int, mode alloctx.Mode, gcThreshold int64, gen bool) {
+	runOne := func(v workloads.Variant) (*core.Session, uint64) {
+		s := core.NewSession(core.Config{Mode: mode, GCThreshold: gcThreshold, Generational: gen})
+		sum := spec.Run(s.Runtime(), v, scale)
+		s.FinalGC()
+		return s, sum
+	}
+	before, sumB := runOne(workloads.Baseline)
+	after, sumT := runOne(workloads.Tuned)
+	if sumB != sumT {
+		fatal(fmt.Errorf("tuned variant changed the computed result"))
+	}
+	deltas := advisor.Compare(before.Prof.Snapshot(), after.Prof.Snapshot())
+	fmt.Printf("per-context gains, %s baseline -> tuned (top 15):\n", spec.Name)
+	fmt.Print(advisor.FormatCompare(deltas, 15))
+	b, a := before.Heap.MinimalHeap(), after.Heap.MinimalHeap()
+	fmt.Printf("\nminimal heap: %d -> %d bytes (%.2f%% improvement)\n",
+		b, a, 100*float64(b-a)/float64(b))
+	fmt.Printf("GC cycles: %d -> %d\n", before.Heap.Stats().NumGC, after.Heap.Stats().NumGC)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chameleon:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Quickstart: profile your own collection usage and get suggestions.
+//
+// This example builds a Chameleon session with *dynamic* allocation-context
+// capture (real stack walks — no site labels needed), exercises a few
+// collections the way a small application might, and prints the ranked
+// suggestion report.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"chameleon/internal/advisor"
+	"chameleon/internal/alloctx"
+	"chameleon/internal/collections"
+	"chameleon/internal/core"
+)
+
+// index builds a tiny inverted index: one small map per document.
+func index(rt *collections.Runtime, docs [][]string) []*collections.Map[string, int] {
+	var maps []*collections.Map[string, int]
+	for _, doc := range docs {
+		// Allocated with the default HashMap — Chameleon will notice
+		// these stay tiny and suggest an ArrayMap.
+		m := collections.NewHashMap[string, int](rt)
+		for _, w := range doc {
+			c, _ := m.Get(w)
+			m.Put(w, c+1)
+		}
+		maps = append(maps, m)
+	}
+	return maps
+}
+
+// search runs membership-heavy queries against a list — the pattern the
+// LinkedHashSet rule exists for.
+func search(rt *collections.Runtime, queries []string) int {
+	vocabulary := collections.NewArrayList[string](rt)
+	for i := 0; i < 200; i++ {
+		vocabulary.Add(fmt.Sprintf("term-%d", i))
+	}
+	hits := 0
+	for r := 0; r < 50; r++ {
+		for _, q := range queries {
+			if vocabulary.Contains(q) {
+				hits++
+			}
+		}
+	}
+	vocabulary.Free()
+	return hits
+}
+
+func main() {
+	// 1. Create a session: simulated collection-aware heap + profiler +
+	//    dynamic context capture.
+	session := core.NewSession(core.Config{
+		Mode:        alloctx.Dynamic,
+		GCThreshold: 32 << 10,
+	})
+	rt := session.Runtime()
+
+	// 2. Run your code against the chameleon collections.
+	docs := make([][]string, 300)
+	for i := range docs {
+		docs[i] = []string{"the", "quick", "brown", "fox", fmt.Sprintf("id-%d", i)}
+	}
+	maps := index(rt, docs)
+	hits := search(rt, []string{"term-3", "term-150", "missing"})
+	fmt.Printf("indexed %d documents, %d query hits\n\n", len(maps), hits)
+
+	// 3. Release what dies; snapshot the rest.
+	for _, m := range maps {
+		m.Free()
+	}
+	session.FinalGC()
+
+	// 4. Ask the rule engine for suggestions.
+	report, err := session.Report(advisor.Options{Top: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("top allocation contexts:")
+	fmt.Print(report.FormatTopContexts(3))
+	fmt.Println("\nsuggestions:")
+	fmt.Print(report.Format())
+
+	st := session.Heap.Stats()
+	fmt.Printf("\nheap: peak live %d bytes over %d GC cycles\n", st.PeakLive, st.NumGC)
+}

@@ -1,0 +1,179 @@
+// Package adaptive implements Chameleon's fully-automatic online mode
+// (paper §3.3.2, §5.4): implementation selection performed at allocation
+// time, inside the runtime, with no user involvement. Replacement is
+// localized — it happens when a collection object is allocated, so no
+// stop-the-world phase is needed (unlike GC switching, §6).
+//
+// Decisions are necessarily based on partial information: the selector
+// waits until a context has accumulated MinEvidence dead instances, then
+// evaluates the rule set on that context's statistics and caches the
+// decision. A context can be re-evaluated periodically to react to phase
+// changes (the paper's "lack of stability" motivation).
+package adaptive
+
+import (
+	"sync"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/profiler"
+	"chameleon/internal/rules"
+	"chameleon/internal/spec"
+)
+
+// Options configure the online selector.
+type Options struct {
+	// Rules is the rule set; nil selects the built-in Table 2 rules.
+	Rules *rules.RuleSet
+	// Params binds rule parameters; nil selects rules.DefaultParams.
+	Params rules.Params
+	// MaxSizeStdDev is the stability threshold (see rules.EvalOptions).
+	MaxSizeStdDev float64
+	// MinEvidence is the number of completed (dead) instances a context
+	// must accumulate before the selector decides it. The default is 32.
+	MinEvidence int64
+	// ReevaluateEvery re-decides a context after this many further
+	// allocations (0 = decide once and stick — the paper's default
+	// behaviour, with its "even a single collection with large size may
+	// considerably degrade performance" risk).
+	ReevaluateEvery int64
+}
+
+func (o Options) fill() Options {
+	if o.Rules == nil {
+		o.Rules = rules.Builtin()
+	}
+	if o.Params == nil {
+		o.Params = rules.DefaultParams
+	}
+	if o.MinEvidence <= 0 {
+		o.MinEvidence = 32
+	}
+	return o
+}
+
+type decisionState struct {
+	allocs    int64
+	decided   bool
+	nextCheck int64
+	decision  collections.Decision
+	useIt     bool
+}
+
+// Selector is an online implementation selector; it implements
+// collections.Selector and is safe for concurrent use.
+type Selector struct {
+	mu    sync.Mutex
+	prof  *profiler.Profiler
+	opts  Options
+	state map[uint64]*decisionState
+
+	// Replacements counts applied online replacements (for reports).
+	replacements int64
+}
+
+// New builds an online selector reading evidence from prof.
+func New(prof *profiler.Profiler, opts Options) *Selector {
+	return &Selector{prof: prof, opts: opts.fill(), state: make(map[uint64]*decisionState)}
+}
+
+// Replacements reports how many allocations received a non-default
+// implementation so far.
+func (s *Selector) Replacements() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replacements
+}
+
+// Decisions reports the currently cached per-context decisions.
+func (s *Selector) Decisions() map[uint64]collections.Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]collections.Decision, len(s.state))
+	for k, st := range s.state {
+		if st.decided && st.useIt {
+			out[k] = st.decision
+		}
+	}
+	return out
+}
+
+// Select implements collections.Selector.
+func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Decision) collections.Decision {
+	if ctxKey == 0 {
+		// No context: paper §3.3.2 — obtaining allocation context cheaply
+		// is the precondition for online replacement; without it we keep
+		// the declared implementation.
+		return def
+	}
+	s.mu.Lock()
+	st, ok := s.state[ctxKey]
+	if !ok {
+		st = &decisionState{nextCheck: s.opts.MinEvidence}
+		s.state[ctxKey] = st
+	}
+	st.allocs++
+	needDecide := false
+	if st.allocs >= st.nextCheck && (!st.decided || s.opts.ReevaluateEvery > 0) {
+		needDecide = true
+		if s.opts.ReevaluateEvery > 0 {
+			st.nextCheck = st.allocs + s.opts.ReevaluateEvery
+		} else {
+			st.nextCheck = 1 << 62
+		}
+	}
+	s.mu.Unlock()
+
+	if needDecide {
+		dec, use := s.decide(ctxKey, declared, def)
+		s.mu.Lock()
+		st.decided = true
+		st.decision = dec
+		st.useIt = use
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.decided && st.useIt {
+		s.replacements++
+		return st.decision
+	}
+	return def
+}
+
+// decide snapshots one context and evaluates the rule set, keeping only
+// decisions that are actionable at allocation time: replacements within
+// the declared ADT and capacity tuning. Cross-ADT advice (e.g. ArrayList
+// -> LinkedHashSet) requires a program change and is skipped online.
+func (s *Selector) decide(ctxKey uint64, declared spec.Kind, def collections.Decision) (collections.Decision, bool) {
+	p := s.prof.SnapshotContext(ctxKey)
+	if p == nil {
+		return def, false
+	}
+	ms, err := rules.Eval(s.opts.Rules, p, rules.EvalOptions{
+		Params:        s.opts.Params,
+		MaxSizeStdDev: s.opts.MaxSizeStdDev,
+	})
+	if err != nil {
+		return def, false
+	}
+	for _, m := range ms {
+		switch m.Rule.Act.Kind {
+		case rules.ActReplace:
+			impl := m.Rule.Act.Impl
+			if impl.Abstract() != declared.Abstract() {
+				continue // cross-ADT: not applicable online
+			}
+			capVal := def.Capacity
+			if m.Capacity > 0 {
+				capVal = int(m.Capacity)
+			}
+			return collections.Decision{Impl: impl, Capacity: capVal}, true
+		case rules.ActSetCapacity:
+			if m.Capacity > 0 {
+				return collections.Decision{Impl: def.Impl, Capacity: int(m.Capacity)}, true
+			}
+		}
+	}
+	return def, false
+}

@@ -1,0 +1,220 @@
+// Package advisor applies the rule engine to profiler snapshots and
+// produces the ranked, context-specific suggestion report of paper §2.1:
+//
+//	1: HashMap:tvla.util.HashMapFactory:31;tvla.core.base.BaseTVS:50 replace with ArrayMap
+//	4: ArrayList:BaseHashTVSSet:112;tvla.core.base.BaseHashTVSSet:60 set initial capacity
+//
+// Contexts are ranked by space-saving potential; for each context every
+// matching rule is retained, with the first (highest-priority) match as the
+// primary suggestion.
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"chameleon/internal/profiler"
+	"chameleon/internal/rules"
+)
+
+// Options configure a rule-engine run.
+type Options struct {
+	// Rules is the rule set; nil selects the built-in Table 2 rules.
+	Rules *rules.RuleSet
+	// Params binds rule parameters; nil selects rules.DefaultParams.
+	Params rules.Params
+	// MaxSizeStdDev is the stability threshold (see rules.EvalOptions).
+	MaxSizeStdDev float64
+	// MinPotential is the space-saving potential (bytes) below which
+	// purely space-motivated replacement suggestions are suppressed
+	// (§3.3.1: "we can avoid any space-optimizing replacement when the
+	// potential space savings seems negligible"). Zero selects 512;
+	// negative disables the gate.
+	MinPotential int64
+	// Top limits the report to the N highest-potential contexts (0 = all).
+	Top int
+}
+
+// DefaultMinPotential is the default negligible-saving cutoff in bytes.
+const DefaultMinPotential = 512
+
+func (o Options) fill() Options {
+	if o.Rules == nil {
+		o.Rules = rules.Builtin()
+	}
+	if o.Params == nil {
+		o.Params = rules.DefaultParams
+	}
+	if o.MinPotential == 0 {
+		o.MinPotential = DefaultMinPotential
+	}
+	return o
+}
+
+// Suggestion is one context's primary suggestion plus every other rule
+// that matched it.
+type Suggestion struct {
+	// Rank is the context's 1-based position in the potential ranking.
+	Rank int
+	// Profile is the context's finalized statistics.
+	Profile *profiler.Profile
+	// Primary is the highest-priority match.
+	Primary rules.Match
+	// Others are the remaining matches in priority order.
+	Others []rules.Match
+}
+
+// Describe renders a match as the report's fix phrase.
+func Describe(m rules.Match) string {
+	switch m.Rule.Act.Kind {
+	case rules.ActReplace:
+		s := "replace with " + m.Rule.Act.Impl.String()
+		if m.Rule.Act.Capacity.Present && m.Capacity > 0 {
+			s += fmt.Sprintf(" (initial capacity %d)", m.Capacity)
+		}
+		return s
+	case rules.ActSetCapacity:
+		if m.Capacity > 0 {
+			return fmt.Sprintf("set initial capacity to %d", m.Capacity)
+		}
+		return "set initial capacity"
+	case rules.ActAvoid:
+		return "avoid allocation"
+	case rules.ActEliminateCopies:
+		return "eliminate temporary copies"
+	case rules.ActRemoveIterator:
+		return "remove iterator over empty collection"
+	}
+	return m.Rule.Act.Kind.String()
+}
+
+// Report is the result of applying the rule engine to a snapshot.
+type Report struct {
+	// Ranked is every context in descending potential order (after the
+	// Top cut).
+	Ranked []*profiler.Profile
+	// Suggestions holds one entry per context that matched at least one
+	// rule, in rank order.
+	Suggestions []Suggestion
+}
+
+// Advise evaluates the rule set over every profile and builds the report.
+func Advise(profiles []*profiler.Profile, opts Options) (*Report, error) {
+	opts = opts.fill()
+	ranked := profiler.Rank(profiles)
+	if opts.Top > 0 && len(ranked) > opts.Top {
+		ranked = ranked[:opts.Top]
+	}
+	rep := &Report{Ranked: ranked}
+	evalOpts := rules.EvalOptions{Params: opts.Params, MaxSizeStdDev: opts.MaxSizeStdDev}
+	for i, p := range ranked {
+		ms, err := rules.Eval(opts.Rules, p, evalOpts)
+		if err != nil {
+			return nil, err
+		}
+		ms = filterNegligible(ms, p, opts.MinPotential)
+		if len(ms) == 0 {
+			continue
+		}
+		rep.Suggestions = append(rep.Suggestions, Suggestion{
+			Rank:    i + 1,
+			Profile: p,
+			Primary: ms[0],
+			Others:  ms[1:],
+		})
+	}
+	return rep, nil
+}
+
+// filterNegligible drops purely space-motivated replacement suggestions
+// for contexts whose potential is below the cutoff. Time-motivated and
+// mixed suggestions survive, as do the advisory fixes (their benefit is
+// allocation churn, which the live-byte potential does not measure).
+func filterNegligible(ms []rules.Match, p *profiler.Profile, minPotential int64) []rules.Match {
+	if minPotential < 0 {
+		return ms
+	}
+	out := ms[:0]
+	for _, m := range ms {
+		if m.Rule.Act.Kind == rules.ActReplace && m.Rule.Category() == "Space" && p.Potential() < minPotential {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Format renders the report in the paper's succinct style, one line per
+// suggested context, followed by an operation-distribution summary for the
+// top contexts (the Fig. 3 view).
+func (r *Report) Format() string {
+	var b strings.Builder
+	for _, s := range r.Suggestions {
+		fmt.Fprintf(&b, "%d: %s:%s %s\n", s.Rank, s.Profile.Declared, s.Profile.Context, Describe(s.Primary))
+		if s.Primary.Rule.Message != "" {
+			fmt.Fprintf(&b, "   %s\n", s.Primary.Rule.Message)
+		}
+		for _, o := range s.Others {
+			fmt.Fprintf(&b, "   also: %s\n", Describe(o))
+		}
+	}
+	return b.String()
+}
+
+// FormatTopContexts renders the Fig. 3 style per-context summary: potential
+// and operation distribution for the top n ranked contexts.
+func (r *Report) FormatTopContexts(n int) string {
+	var b strings.Builder
+	for i, p := range r.Ranked {
+		if n > 0 && i >= n {
+			break
+		}
+		fmt.Fprintf(&b, "context %d: %s (%s)\n", i+1, p.Context, p.Impl)
+		fmt.Fprintf(&b, "  allocs=%d avgMaxSize=%.1f (sd %.1f) potential=%d bytes (maxLive=%d maxUsed=%d maxCore=%d)\n",
+			p.Allocs, p.MaxSizeAvg, p.MaxSizeStdDev, p.Potential(), p.MaxHeap.Live, p.MaxHeap.Used, p.MaxHeap.Core)
+		if h := p.SizeHist; h != nil && h.Count() > 0 {
+			mode, modeN := h.Mode()
+			fmt.Fprintf(&b, "  sizes: mode=%d (%.0f%%) p50=%d p90=%d empty=%.0f%%\n",
+				mode, 100*h.Fraction(mode), h.Quantile(0.5), h.Quantile(0.9), 100*h.Fraction(0))
+			_ = modeN
+		}
+		fmt.Fprintf(&b, "  ops: %s\n", p.OpDistribution())
+	}
+	return b.String()
+}
+
+// suggestionJSON is the serialization shape of one suggestion.
+type suggestionJSON struct {
+	Rank      int               `json:"rank"`
+	Context   string            `json:"context"`
+	Declared  string            `json:"declared"`
+	Potential int64             `json:"potential"`
+	Fix       string            `json:"fix"`
+	Rule      string            `json:"rule"`
+	Message   string            `json:"message,omitempty"`
+	Others    []string          `json:"others,omitempty"`
+	Profile   *profiler.Profile `json:"profile,omitempty"`
+}
+
+// MarshalJSON serializes the report's suggestions.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := make([]suggestionJSON, 0, len(r.Suggestions))
+	for _, s := range r.Suggestions {
+		sj := suggestionJSON{
+			Rank:      s.Rank,
+			Context:   s.Profile.Context.String(),
+			Declared:  s.Profile.Declared.String(),
+			Potential: s.Profile.Potential(),
+			Fix:       Describe(s.Primary),
+			Rule:      rules.PrintRule(s.Primary.Rule),
+			Message:   s.Primary.Rule.Message,
+			Profile:   s.Profile,
+		}
+		for _, o := range s.Others {
+			sj.Others = append(sj.Others, Describe(o))
+		}
+		out = append(out, sj)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,102 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chameleon/internal/profiler"
+	"chameleon/internal/stats"
+)
+
+// Delta compares one allocation context across a before and an after run —
+// the §5.2 methodology's step 5: "Compare the gains for the top allocation
+// contexts in the before and after versions".
+type Delta struct {
+	Context string
+	// Before and After are the context's profiles in each run (nil when
+	// the context only exists on one side, e.g. a removed allocation).
+	Before *profiler.Profile
+	After  *profiler.Profile
+	// MaxLiveBefore/After are the per-cycle peak collection bytes.
+	MaxLiveBefore int64
+	MaxLiveAfter  int64
+	// Gain is the reduction in peak collection bytes (positive = better).
+	Gain int64
+	// PotentialBefore/After show how much of the context's saving
+	// potential the fix captured.
+	PotentialBefore int64
+	PotentialAfter  int64
+}
+
+// GainPct reports the gain as a percentage of the before footprint.
+func (d Delta) GainPct() float64 {
+	return stats.Percent(float64(d.Gain), float64(d.MaxLiveBefore))
+}
+
+// Compare matches contexts between two snapshots by context string and
+// reports per-context deltas sorted by descending gain.
+func Compare(before, after []*profiler.Profile) []Delta {
+	byCtx := func(ps []*profiler.Profile) map[string]*profiler.Profile {
+		m := make(map[string]*profiler.Profile, len(ps))
+		for _, p := range ps {
+			m[p.Context.String()] = p
+		}
+		return m
+	}
+	bm, am := byCtx(before), byCtx(after)
+	seen := map[string]bool{}
+	var out []Delta
+	add := func(ctx string) {
+		if seen[ctx] {
+			return
+		}
+		seen[ctx] = true
+		d := Delta{Context: ctx, Before: bm[ctx], After: am[ctx]}
+		if d.Before != nil {
+			d.MaxLiveBefore = d.Before.MaxHeap.Live
+			d.PotentialBefore = d.Before.Potential()
+		}
+		if d.After != nil {
+			d.MaxLiveAfter = d.After.MaxHeap.Live
+			d.PotentialAfter = d.After.Potential()
+		}
+		d.Gain = d.MaxLiveBefore - d.MaxLiveAfter
+		out = append(out, d)
+	}
+	for _, p := range before {
+		add(p.Context.String())
+	}
+	for _, p := range after {
+		add(p.Context.String())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Gain != out[j].Gain {
+			return out[i].Gain > out[j].Gain
+		}
+		return out[i].Context < out[j].Context
+	})
+	return out
+}
+
+// FormatCompare renders the per-context gain table.
+func FormatCompare(deltas []Delta, top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-60s %12s %12s %10s %8s\n", "context", "maxLive", "maxLive'", "gain", "gain%")
+	for i, d := range deltas {
+		if top > 0 && i >= top {
+			break
+		}
+		impl := ""
+		if d.Before != nil && d.After != nil && d.Before.Impl != d.After.Impl {
+			impl = fmt.Sprintf("  (%s -> %s)", d.Before.Impl, d.After.Impl)
+		}
+		ctx := d.Context
+		if len(ctx) > 58 {
+			ctx = ctx[:55] + "..."
+		}
+		fmt.Fprintf(&b, "%-60s %12d %12d %10d %7.1f%%%s\n",
+			ctx, d.MaxLiveBefore, d.MaxLiveAfter, d.Gain, d.GainPct(), impl)
+	}
+	return b.String()
+}

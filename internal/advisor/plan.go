@@ -1,0 +1,105 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/rules"
+	"chameleon/internal/spec"
+)
+
+// Plan is a fixed per-context implementation assignment derived from a
+// report — the "(or by the tool)" half of §3.3.2: "The suggested
+// implementations can then be applied by the programmer (or by the tool)
+// and the program can be executed again (with or without profiling)."
+//
+// A Plan implements collections.Selector, so installing it on the next
+// run's runtime applies every actionable suggestion at allocation time
+// with a single map lookup — no per-allocation rule evaluation, unlike the
+// fully-online mode.
+type Plan struct {
+	decisions map[uint64]planEntry
+}
+
+type planEntry struct {
+	decision collections.Decision
+	context  string
+	fix      string
+}
+
+// NewPlan extracts the actionable decisions from a report: same-ADT
+// replacements (with their capacity suggestions) and capacity tuning.
+// Cross-ADT advice and the advisory fixes require program changes and are
+// left out.
+func NewPlan(rep *Report) *Plan {
+	p := &Plan{decisions: make(map[uint64]planEntry)}
+	for _, s := range rep.Suggestions {
+		key := s.Profile.Context.Key()
+		if key == 0 {
+			continue
+		}
+		declared := s.Profile.Declared
+		for _, m := range append([]rules.Match{s.Primary}, s.Others...) {
+			switch m.Rule.Act.Kind {
+			case rules.ActReplace:
+				impl := m.Rule.Act.Impl
+				if impl.Abstract() != declared.Abstract() {
+					continue
+				}
+				p.decisions[key] = planEntry{
+					decision: collections.Decision{Impl: impl, Capacity: int(m.Capacity)},
+					context:  s.Profile.Context.String(),
+					fix:      Describe(m),
+				}
+			case rules.ActSetCapacity:
+				if m.Capacity <= 0 {
+					continue
+				}
+				p.decisions[key] = planEntry{
+					decision: collections.Decision{Impl: declared, Capacity: int(m.Capacity)},
+					context:  s.Profile.Context.String(),
+					fix:      Describe(m),
+				}
+			default:
+				continue
+			}
+			break // first actionable match per context wins
+		}
+	}
+	return p
+}
+
+// Len reports the number of contexts the plan rewrites.
+func (p *Plan) Len() int { return len(p.decisions) }
+
+// Select implements collections.Selector.
+func (p *Plan) Select(ctxKey uint64, declared spec.Kind, def collections.Decision) collections.Decision {
+	e, ok := p.decisions[ctxKey]
+	if !ok {
+		return def
+	}
+	d := e.decision
+	if d.Capacity == 0 {
+		d.Capacity = def.Capacity
+	}
+	return d
+}
+
+// String renders the plan, one rewritten context per line, sorted by
+// context for determinism.
+func (p *Plan) String() string {
+	entries := make([]planEntry, 0, len(p.decisions))
+	for _, e := range p.decisions {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].context < entries[j].context })
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s: %s\n", e.context, e.fix)
+	}
+	return b.String()
+}
+
+var _ collections.Selector = (*Plan)(nil)

@@ -1,0 +1,57 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+func TestPlanFromTVLAStyleReport(t *testing.T) {
+	rep, err := Advise(buildTVLAStyleSnapshot(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(rep)
+	if plan.Len() < 2 {
+		t.Fatalf("plan rewrites %d contexts:\n%s", plan.Len(), plan.String())
+	}
+	// The top suggestion (HashMap -> ArrayMap, capacity 7) must be in the
+	// plan keyed by its context.
+	top := rep.Suggestions[0]
+	dec := plan.Select(top.Profile.Context.Key(), spec.KindHashMap,
+		collections.Decision{Impl: spec.KindHashMap})
+	if dec.Impl != spec.KindArrayMap {
+		t.Fatalf("plan decision = %+v", dec)
+	}
+	if dec.Capacity != 7 {
+		t.Fatalf("plan capacity = %d, want 7", dec.Capacity)
+	}
+	// Unknown contexts fall through to the default.
+	def := collections.Decision{Impl: spec.KindHashMap, Capacity: 3}
+	if got := plan.Select(999999, spec.KindHashMap, def); got != def {
+		t.Fatalf("unknown context rewrote: %+v", got)
+	}
+	if !strings.Contains(plan.String(), "replace with ArrayMap") {
+		t.Fatalf("plan rendering:\n%s", plan.String())
+	}
+}
+
+func TestPlanSkipsCrossADTAndAdvisory(t *testing.T) {
+	// The contains-heavy ArrayList context's primary suggestion is the
+	// cross-ADT LinkedHashSet; the plan must skip it but may keep the
+	// setCapacity match.
+	rep, err := Advise(buildContainsHeavySnapshot(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(rep)
+	for _, s := range rep.Suggestions {
+		dec := plan.Select(s.Profile.Context.Key(), s.Profile.Declared,
+			collections.Decision{Impl: s.Profile.Declared})
+		if dec.Impl.Abstract() != s.Profile.Declared.Abstract() {
+			t.Fatalf("plan crossed ADTs: %v -> %v", s.Profile.Declared, dec.Impl)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package alloctx implements Chameleon's allocation contexts (§3.2.1): a
+// partial allocation context is the allocation site plus a call stack of
+// small bounded depth (2-3 in the paper), which the profiler uses as the
+// aggregation key for all collection statistics.
+//
+// The paper implements context capture three ways — walking a Throwable's
+// stack frames (slow), JVMTI (faster), and a planned lightweight VM
+// modification. We mirror that cost spectrum with two modes: Dynamic
+// capture walks the real Go call stack with runtime.Callers (the
+// Throwable/JVMTI analogue, measurably expensive), while Static contexts
+// are pre-interned labels handed out by the allocation site itself (the
+// "VM support" analogue, nearly free). Sampling (§4.2 "Sampling of
+// Allocation Context") further mitigates dynamic-capture cost.
+package alloctx
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Frame is one resolved stack frame of a context.
+type Frame struct {
+	Function string
+	File     string
+	Line     int
+}
+
+// Context is an interned partial allocation context. Contexts are
+// canonical: two captures of the same call stack (or the same static
+// label) return the same *Context, so the uint64 key can be used as a map
+// key everywhere in the profiler and heap.
+type Context struct {
+	key    uint64
+	frames []Frame
+	label  string
+}
+
+// Key reports the context's interned key. Key 0 is reserved for "no
+// context" (tracking disabled).
+func (c *Context) Key() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.key
+}
+
+// Frames reports the resolved frames, outermost last.
+func (c *Context) Frames() []Frame {
+	if c == nil {
+		return nil
+	}
+	return c.frames
+}
+
+// String renders the context in the paper's report syntax:
+// "func:line;func:line" (e.g. "tvla.util.HashMapFactory:31;tvla.core.base.BaseTVS:50").
+func (c *Context) String() string {
+	if c == nil {
+		return "<none>"
+	}
+	if c.label != "" {
+		return c.label
+	}
+	parts := make([]string, len(c.frames))
+	for i, f := range c.frames {
+		parts[i] = fmt.Sprintf("%s:%d", f.Function, f.Line)
+	}
+	return strings.Join(parts, ";")
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashPCs(pcs []uintptr) uint64 {
+	h := uint64(fnvOffset)
+	for _, pc := range pcs {
+		v := uint64(pc)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Table interns contexts. It is safe for concurrent use.
+type Table struct {
+	mu    sync.Mutex
+	byKey map[uint64]*Context
+}
+
+// NewTable returns an empty context table.
+func NewTable() *Table {
+	return &Table{byKey: make(map[uint64]*Context)}
+}
+
+// Static interns a pre-resolved context by label. This is the cheap "VM
+// support" capture mode: the allocation site knows its own identity and no
+// stack walk happens.
+func (t *Table) Static(label string) *Context {
+	key := hashString("static:" + label)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.byKey[key]; ok {
+		return c
+	}
+	c := &Context{key: key, label: label}
+	t.byKey[key] = c
+	return c
+}
+
+// CaptureDynamic walks the caller's stack, skipping skip frames above the
+// caller of CaptureDynamic itself, and interns a context of at most depth
+// frames. Frame symbolization only happens the first time a given stack is
+// seen; repeat captures pay only for runtime.Callers plus a map lookup,
+// like the paper's native implementation that "works directly with unique
+// identifiers, without constructing intermediate objects".
+func (t *Table) CaptureDynamic(skip, depth int) *Context {
+	if depth <= 0 {
+		depth = 2
+	}
+	var pcbuf [16]uintptr
+	if depth > len(pcbuf) {
+		depth = len(pcbuf)
+	}
+	// +2 skips runtime.Callers and CaptureDynamic itself.
+	n := runtime.Callers(skip+2, pcbuf[:depth])
+	pcs := pcbuf[:n]
+	key := hashPCs(pcs)
+	t.mu.Lock()
+	if c, ok := t.byKey[key]; ok {
+		t.mu.Unlock()
+		return c
+	}
+	t.mu.Unlock()
+
+	// Symbolize outside the lock; duplicate work on a race is harmless
+	// because interning below is first-writer-wins.
+	frames := make([]Frame, 0, n)
+	it := runtime.CallersFrames(pcs)
+	for {
+		fr, more := it.Next()
+		frames = append(frames, Frame{Function: trimFunc(fr.Function), File: fr.File, Line: fr.Line})
+		if !more {
+			break
+		}
+	}
+	c := &Context{key: key, frames: frames}
+	t.mu.Lock()
+	if prior, ok := t.byKey[key]; ok {
+		c = prior
+	} else {
+		t.byKey[key] = c
+	}
+	t.mu.Unlock()
+	return c
+}
+
+// Lookup reports the interned context for key, or nil.
+func (t *Table) Lookup(key uint64) *Context {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byKey[key]
+}
+
+// Len reports the number of interned contexts.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byKey)
+}
+
+// trimFunc shortens "chameleon/internal/workloads.(*TVLA).step" to
+// "workloads.(*TVLA).step" for readable reports.
+func trimFunc(fn string) string {
+	if i := strings.LastIndex(fn, "/"); i >= 0 {
+		return fn[i+1:]
+	}
+	return fn
+}
+
+// Mode selects how allocation contexts are obtained.
+type Mode int
+
+const (
+	// Off disables context tracking: every allocation maps to context 0.
+	Off Mode = iota
+	// Static uses pre-interned site labels (cheap; the "VM support" mode).
+	Static
+	// Dynamic walks the real call stack on each sampled allocation (the
+	// Throwable/JVMTI mode; expensive, drives the §5.4 overhead result).
+	Dynamic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Sampler decides, deterministically, whether a given allocation should
+// capture its context. A rate of n captures 1 in n allocations; rates <= 1
+// capture everything. The zero value captures everything.
+type Sampler struct {
+	rate  int
+	count int
+}
+
+// NewSampler returns a sampler with the given 1-in-rate policy.
+func NewSampler(rate int) *Sampler { return &Sampler{rate: rate} }
+
+// Sample reports whether this allocation should capture context.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.rate <= 1 {
+		return true
+	}
+	s.count++
+	if s.count >= s.rate {
+		s.count = 0
+		return true
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package alloctx
+
+import (
+	"sync"
+	"testing"
+)
+
+// The context table must intern consistently under concurrent capture: all
+// goroutines hitting the same site get the same *Context.
+func TestTableConcurrentInterning(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	results := make([][]*Context, goroutines)
+	var wg sync.WaitGroup
+	capture := func() *Context { return tab.CaptureDynamic(0, 2) }
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				results[g] = append(results[g], capture())
+				results[g] = append(results[g], tab.Static("conc:static"))
+			}
+		}()
+	}
+	wg.Wait()
+	static := tab.Static("conc:static")
+	for g := range results {
+		for i, c := range results[g] {
+			if i%2 == 1 && c != static {
+				t.Fatalf("static context not canonical")
+			}
+			if c == nil || c.Key() == 0 {
+				t.Fatalf("bad context")
+			}
+		}
+	}
+	// Dynamic captures from the same call site must all be identical.
+	first := results[0][0]
+	for g := range results {
+		for i := 0; i < len(results[g]); i += 2 {
+			if results[g][i] != first {
+				t.Fatalf("dynamic interning not canonical under concurrency")
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package collections
+
+import (
+	"testing"
+
+	"chameleon/internal/spec"
+)
+
+func TestSetBulkOperations(t *testing.T) {
+	for _, k := range setKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			s := newSetOfKind(t, k)
+			for i := 0; i < 6; i++ {
+				s.Add(i)
+			}
+			sub := newSetOfKind(t, spec.KindHashSet)
+			sub.Add(1)
+			sub.Add(3)
+			other := newSetOfKind(t, spec.KindHashSet)
+			other.Add(99)
+
+			if !s.ContainsAll(sub) {
+				t.Fatal("containsAll(subset) = false")
+			}
+			if s.ContainsAll(other) {
+				t.Fatal("containsAll(disjoint) = true")
+			}
+			if !s.RemoveAll(sub) || s.Size() != 4 || s.Contains(1) || s.Contains(3) {
+				t.Fatalf("removeAll wrong: %v", s.ToSlice())
+			}
+			if s.RemoveAll(other) {
+				t.Fatal("removeAll(disjoint) reported change")
+			}
+			keep := newSetOfKind(t, spec.KindHashSet)
+			keep.Add(0)
+			keep.Add(2)
+			keep.Add(77)
+			if !s.RetainAll(keep) || s.Size() != 2 || !s.Contains(0) || !s.Contains(2) {
+				t.Fatalf("retainAll wrong: %v", s.ToSlice())
+			}
+			if s.RetainAll(keep) {
+				t.Fatal("idempotent retainAll reported change")
+			}
+		})
+	}
+}
+
+func TestListBulkOperations(t *testing.T) {
+	for _, k := range listKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			l := newListOfKind(t, k)
+			for _, v := range []int{1, 2, 3, 2, 4} {
+				l.Add(v)
+			}
+			sub := NewArrayList[int](Plain())
+			sub.Add(2)
+			sub.Add(3)
+			if !l.ContainsAll(sub) {
+				t.Fatal("containsAll(subset) = false")
+			}
+			missing := NewArrayList[int](Plain())
+			missing.Add(9)
+			if l.ContainsAll(missing) {
+				t.Fatal("containsAll(missing) = true")
+			}
+			if !l.RemoveAll(sub) {
+				t.Fatal("removeAll reported no change")
+			}
+			got := l.ToSlice()
+			want := []int{1, 4}
+			if len(got) != len(want) || got[0] != 1 || got[1] != 4 {
+				t.Fatalf("after removeAll: %v", got)
+			}
+			keep := NewArrayList[int](Plain())
+			keep.Add(4)
+			if !l.RetainAll(keep) || l.Size() != 1 || l.Get(0) != 4 {
+				t.Fatalf("after retainAll: %v", l.ToSlice())
+			}
+		})
+	}
+}
+
+func TestBulkOperationsRecordInteractions(t *testing.T) {
+	rt, prof, _ := profiledRuntime(t)
+	s := NewHashSet[int](rt, At("bulk:dst"))
+	s.Add(1)
+	s.Add(2)
+	arg := NewHashSet[int](rt, At("bulk:arg"))
+	arg.Add(1)
+	s.ContainsAll(arg)
+	s.RemoveAll(arg)
+	s.RetainAll(arg)
+	s.Free()
+	arg.Free()
+	snap := prof.Snapshot()
+	dst := findByContext(t, snap, "bulk:dst")
+	if dst.OpTotals[spec.ContainsAll] != 1 || dst.OpTotals[spec.RemoveAll] != 1 || dst.OpTotals[spec.RetainAll] != 1 {
+		t.Fatalf("receiver ops wrong: %v", dst.OpDistribution())
+	}
+	argP := findByContext(t, snap, "bulk:arg")
+	if argP.OpTotals[spec.Copied] != 3 {
+		t.Fatalf("argument copied = %d, want 3", argP.OpTotals[spec.Copied])
+	}
+}
+
+func TestMapValuesAndEntries(t *testing.T) {
+	m := NewLinkedHashMap[string, int](Plain())
+	m.Put("a", 1)
+	m.Put("b", 2)
+	vals := m.Values()
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	entries := m.Entries()
+	if len(entries) != 2 || entries[0].Key != "a" || entries[1].Value != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+}

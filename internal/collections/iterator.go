@@ -1,0 +1,79 @@
+package collections
+
+// Iterator walks a snapshot of a collection's elements in the collection's
+// iteration order (insertion order for lists, ordered sets and ordered
+// maps). It is the library's analogue of java.util.Iterator: creating one
+// is itself a profiled event, and creating one over an empty collection is
+// flagged for the redundant-iterator rule of paper Table 2.
+//
+// The iterator snapshots the elements at creation time; mutations performed
+// after creation are not observed (no ConcurrentModificationException
+// analogue is needed).
+type Iterator[T any] struct {
+	items []T
+	pos   int
+}
+
+func newIterator[T any](items []T) *Iterator[T] { return &Iterator[T]{items: items} }
+
+// HasNext reports whether Next will return another element.
+func (it *Iterator[T]) HasNext() bool { return it.pos < len(it.items) }
+
+// Next returns the next element. It panics when exhausted, like its Java
+// counterpart throws NoSuchElementException.
+func (it *Iterator[T]) Next() T {
+	if it.pos >= len(it.items) {
+		panic("collections: Iterator.Next past end")
+	}
+	v := it.items[it.pos]
+	it.pos++
+	return v
+}
+
+// Remaining reports how many elements are left.
+func (it *Iterator[T]) Remaining() int { return len(it.items) - it.pos }
+
+// ListIterator is the bidirectional list iterator of the full List
+// interface (java.util.ListIterator): it can traverse the snapshot both
+// forward and backward. The cursor sits between elements; NextIndex
+// reports the index of the element Next would return.
+type ListIterator[T any] struct {
+	items []T
+	pos   int
+}
+
+// HasNext reports whether Next will return another element.
+func (it *ListIterator[T]) HasNext() bool { return it.pos < len(it.items) }
+
+// Next returns the next element, advancing the cursor. It panics when
+// exhausted.
+func (it *ListIterator[T]) Next() T {
+	if it.pos >= len(it.items) {
+		panic("collections: ListIterator.Next past end")
+	}
+	v := it.items[it.pos]
+	it.pos++
+	return v
+}
+
+// HasPrev reports whether Prev will return another element.
+func (it *ListIterator[T]) HasPrev() bool { return it.pos > 0 }
+
+// Prev returns the previous element, moving the cursor backward. It panics
+// at the beginning.
+func (it *ListIterator[T]) Prev() T {
+	if it.pos <= 0 {
+		panic("collections: ListIterator.Prev past beginning")
+	}
+	it.pos--
+	return it.items[it.pos]
+}
+
+// NextIndex reports the index of the element a call to Next would return.
+func (it *ListIterator[T]) NextIndex() int { return it.pos }
+
+// Pair is a key/value entry yielded by map iterators.
+type Pair[K comparable, V comparable] struct {
+	Key   K
+	Value V
+}

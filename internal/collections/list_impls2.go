@@ -1,0 +1,185 @@
+package collections
+
+import (
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+)
+
+// sllNode is a singly-linked entry: an object with two reference fields
+// (element, next) — 16 bytes under the 32-bit model, against the
+// doubly-linked entry's 24.
+type sllNode[T comparable] struct {
+	v    T
+	next *sllNode[T]
+}
+
+// singlyLinkedList implements the §5.4 "Specialized Partial Interfaces"
+// observation: the full List interface's backward-traversing list iterator
+// "precludes an underlying implementation of using a singly-linked list".
+// Contexts whose profiles show no listIterator use (and little positional
+// surgery) can use this implementation and save a pointer per element.
+// It keeps a tail pointer so append stays O(1).
+type singlyLinkedList[T comparable] struct {
+	head *sllNode[T]
+	tail *sllNode[T]
+	n    int
+}
+
+func newSinglyLinkedList[T comparable]() *singlyLinkedList[T] {
+	return &singlyLinkedList[T]{}
+}
+
+func (l *singlyLinkedList[T]) kind() spec.Kind { return spec.KindSinglyLinkedList }
+func (l *singlyLinkedList[T]) size() int       { return l.n }
+func (l *singlyLinkedList[T]) capacity() int   { return l.n }
+
+func (l *singlyLinkedList[T]) nodeAt(i int) *sllNode[T] {
+	boundsCheck(i, l.n, "index")
+	p := l.head
+	for ; i > 0; i-- {
+		p = p.next
+	}
+	return p
+}
+
+func (l *singlyLinkedList[T]) get(i int) T { return l.nodeAt(i).v }
+
+func (l *singlyLinkedList[T]) set(i int, v T) T {
+	p := l.nodeAt(i)
+	old := p.v
+	p.v = v
+	return old
+}
+
+func (l *singlyLinkedList[T]) add(v T) {
+	node := &sllNode[T]{v: v}
+	if l.tail == nil {
+		l.head, l.tail = node, node
+	} else {
+		l.tail.next = node
+		l.tail = node
+	}
+	l.n++
+}
+
+func (l *singlyLinkedList[T]) addAt(i int, v T) {
+	if i == l.n {
+		l.add(v)
+		return
+	}
+	boundsCheck(i, l.n, "addAt")
+	node := &sllNode[T]{v: v}
+	if i == 0 {
+		node.next = l.head
+		l.head = node
+	} else {
+		prev := l.nodeAt(i - 1)
+		node.next = prev.next
+		prev.next = node
+	}
+	l.n++
+}
+
+func (l *singlyLinkedList[T]) removeAt(i int) T {
+	boundsCheck(i, l.n, "removeAt")
+	var removed *sllNode[T]
+	if i == 0 {
+		removed = l.head
+		l.head = removed.next
+		if l.head == nil {
+			l.tail = nil
+		}
+	} else {
+		prev := l.nodeAt(i - 1)
+		removed = prev.next
+		prev.next = removed.next
+		if removed == l.tail {
+			l.tail = prev
+		}
+	}
+	l.n--
+	return removed.v
+}
+
+func (l *singlyLinkedList[T]) remove(v T) bool {
+	if i := l.indexOf(v); i >= 0 {
+		l.removeAt(i)
+		return true
+	}
+	return false
+}
+
+func (l *singlyLinkedList[T]) indexOf(v T) int {
+	i := 0
+	for p := l.head; p != nil; p = p.next {
+		if p.v == v {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+func (l *singlyLinkedList[T]) clear() {
+	l.head, l.tail, l.n = nil, nil, 0
+}
+
+func (l *singlyLinkedList[T]) each(f func(T) bool) {
+	for p := l.head; p != nil; p = p.next {
+		if !f(p.v) {
+			return
+		}
+	}
+}
+
+func (l *singlyLinkedList[T]) foot(m heap.SizeModel) heap.Footprint {
+	obj := m.ObjectFields(2, 1)   // head, tail, size
+	entry := m.ObjectFields(2, 0) // element + next: 16 bytes on Model32
+	f := heap.Footprint{
+		Live: obj + int64(l.n)*entry,
+		Used: obj + int64(l.n)*entry,
+	}
+	if l.n > 0 {
+		f.Core = m.PtrArray(int64(l.n))
+	}
+	return f
+}
+
+// emptyList is the immutable shared-empty-list idiom (java.util
+// Collections.EMPTY_LIST; PMD applied it manually, §5.3). Reads behave as
+// an empty list; any mutation panics. It is never selected automatically —
+// the programmer opts in with Impl(spec.KindEmptyList) where emptiness is
+// an invariant.
+type emptyList[T comparable] struct{}
+
+func newEmptyList[T comparable]() emptyList[T] { return emptyList[T]{} }
+
+func (emptyList[T]) kind() spec.Kind { return spec.KindEmptyList }
+func (emptyList[T]) size() int       { return 0 }
+func (emptyList[T]) capacity() int   { return 0 }
+
+func (emptyList[T]) get(i int) T {
+	boundsCheck(i, 0, "get")
+	panic("unreachable")
+}
+
+func (emptyList[T]) set(i int, v T) T {
+	panic("collections: EmptyList is immutable")
+}
+
+func (emptyList[T]) add(T)        { panic("collections: EmptyList is immutable") }
+func (emptyList[T]) addAt(int, T) { panic("collections: EmptyList is immutable") }
+
+func (emptyList[T]) removeAt(int) T {
+	panic("collections: EmptyList is immutable")
+}
+
+func (emptyList[T]) remove(T) bool     { return false }
+func (emptyList[T]) indexOf(T) int     { return -1 }
+func (emptyList[T]) clear()            {} // clearing an empty list is a no-op
+func (emptyList[T]) each(func(T) bool) {}
+
+func (emptyList[T]) foot(m heap.SizeModel) heap.Footprint {
+	obj := m.Object(0)
+	return heap.Footprint{Live: obj, Used: obj}
+}

@@ -1,0 +1,540 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+)
+
+var listKinds = []spec.Kind{
+	spec.KindArrayList,
+	spec.KindLinkedList,
+	spec.KindSinglyLinkedList,
+	spec.KindLazyArrayList,
+	spec.KindSingletonList,
+}
+
+func newListOfKind(t *testing.T, k spec.Kind) *List[int] {
+	t.Helper()
+	return NewArrayList[int](Plain(), Impl(k))
+}
+
+func TestListBasicsAllKinds(t *testing.T) {
+	for _, k := range listKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			l := newListOfKind(t, k)
+			if !l.IsEmpty() || l.Size() != 0 {
+				t.Fatalf("new list not empty")
+			}
+			l.Add(10)
+			l.Add(20)
+			l.Add(30)
+			if l.Size() != 3 {
+				t.Fatalf("size = %d", l.Size())
+			}
+			if l.Get(0) != 10 || l.Get(1) != 20 || l.Get(2) != 30 {
+				t.Fatalf("get wrong: %v", l.ToSlice())
+			}
+			if !l.Contains(20) || l.Contains(99) {
+				t.Fatalf("contains wrong")
+			}
+			if l.IndexOf(30) != 2 || l.IndexOf(99) != -1 {
+				t.Fatalf("indexOf wrong")
+			}
+			if old := l.Set(1, 25); old != 20 {
+				t.Fatalf("set returned %d", old)
+			}
+			l.AddAt(1, 15)
+			want := []int{10, 15, 25, 30}
+			got := l.ToSlice()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("after addAt: %v, want %v", got, want)
+				}
+			}
+			if v := l.RemoveAt(2); v != 25 {
+				t.Fatalf("removeAt returned %d", v)
+			}
+			if !l.Remove(15) || l.Remove(15) {
+				t.Fatalf("remove wrong")
+			}
+			if v, ok := l.RemoveFirst(); !ok || v != 10 {
+				t.Fatalf("removeFirst = %d,%v", v, ok)
+			}
+			l.Clear()
+			if !l.IsEmpty() {
+				t.Fatalf("clear failed")
+			}
+			if _, ok := l.RemoveFirst(); ok {
+				t.Fatalf("removeFirst on empty should report !ok")
+			}
+		})
+	}
+}
+
+func TestListOutOfRangePanics(t *testing.T) {
+	for _, k := range listKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			l := newListOfKind(t, k)
+			l.Add(1)
+			for name, f := range map[string]func(){
+				"get":      func() { l.Get(1) },
+				"getNeg":   func() { l.Get(-1) },
+				"set":      func() { l.Set(5, 0) },
+				"removeAt": func() { l.RemoveAt(2) },
+				"addAt":    func() { l.AddAt(3, 0) },
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Errorf("%s out of range did not panic", name)
+						}
+					}()
+					f()
+				}()
+			}
+		})
+	}
+}
+
+// Differential test: every list implementation must have identical logical
+// behavior (the paper's interchangeability requirement, §1) when driven by
+// a random operation sequence, checked against a plain-slice reference
+// model.
+func TestListDifferentialAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range listKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				l := newListOfKind(t, k)
+				var model []int
+				for step := 0; step < 200; step++ {
+					v := rng.Intn(20)
+					switch op := rng.Intn(10); op {
+					case 0, 1, 2:
+						l.Add(v)
+						model = append(model, v)
+					case 3:
+						if len(model) > 0 {
+							i := rng.Intn(len(model))
+							l.AddAt(i, v)
+							model = append(model[:i], append([]int{v}, model[i:]...)...)
+						}
+					case 4:
+						if len(model) > 0 {
+							i := rng.Intn(len(model))
+							got := l.RemoveAt(i)
+							want := model[i]
+							model = append(model[:i], model[i+1:]...)
+							if got != want {
+								t.Fatalf("trial %d: removeAt(%d) = %d, want %d", trial, i, got, want)
+							}
+						}
+					case 5:
+						got := l.Remove(v)
+						want := false
+						for i, x := range model {
+							if x == v {
+								model = append(model[:i], model[i+1:]...)
+								want = true
+								break
+							}
+						}
+						if got != want {
+							t.Fatalf("trial %d: remove(%d) = %v, want %v", trial, v, got, want)
+						}
+					case 6:
+						if len(model) > 0 {
+							i := rng.Intn(len(model))
+							got := l.Set(i, v)
+							if got != model[i] {
+								t.Fatalf("set old mismatch")
+							}
+							model[i] = v
+						}
+					case 7:
+						got := l.IndexOf(v)
+						want := -1
+						for i, x := range model {
+							if x == v {
+								want = i
+								break
+							}
+						}
+						if got != want {
+							t.Fatalf("indexOf(%d) = %d, want %d", v, got, want)
+						}
+					case 8:
+						if got, want := l.Contains(v), containsInt(model, v); got != want {
+							t.Fatalf("contains mismatch")
+						}
+					case 9:
+						if rng.Intn(20) == 0 {
+							l.Clear()
+							model = model[:0]
+						}
+					}
+					if l.Size() != len(model) {
+						t.Fatalf("trial %d step %d: size %d != model %d", trial, step, l.Size(), len(model))
+					}
+				}
+				got := l.ToSlice()
+				for i := range model {
+					if got[i] != model[i] {
+						t.Fatalf("final contents %v != model %v", got, model)
+					}
+				}
+			}
+		})
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestArrayListGrowthFollowsPaperFormula(t *testing.T) {
+	// §2.2: capacity 100 with 100 elements grows to 151 on the 101st add.
+	l := NewArrayList[int](Plain(), Cap(100))
+	for i := 0; i < 100; i++ {
+		l.Add(i)
+	}
+	if l.Capacity() != 100 {
+		t.Fatalf("cap = %d, want 100", l.Capacity())
+	}
+	l.Add(100)
+	if l.Capacity() != 151 {
+		t.Fatalf("cap after growth = %d, want 151", l.Capacity())
+	}
+}
+
+func TestArrayListFootprint(t *testing.T) {
+	m := heap.Model32
+	l := NewArrayList[int](Plain(), Cap(10))
+	f := l.HeapFootprint()
+	wrapper := m.ObjectFields(1, 0)
+	obj := m.ObjectFields(1, 2)
+	if f.Live != wrapper+obj+m.PtrArray(10) {
+		t.Fatalf("empty live = %d", f.Live)
+	}
+	if f.Core != 0 {
+		t.Fatalf("empty core = %d, want 0", f.Core)
+	}
+	l.Add(1)
+	l.Add(2)
+	f = l.HeapFootprint()
+	if f.Used != wrapper+obj+m.PtrArray(2) {
+		t.Fatalf("used = %d", f.Used)
+	}
+	if f.Core != m.PtrArray(2) {
+		t.Fatalf("core = %d", f.Core)
+	}
+	if f.Live <= f.Used {
+		t.Fatalf("live %d should exceed used %d for a part-full array", f.Live, f.Used)
+	}
+}
+
+func TestLinkedListFootprintHasSentinel(t *testing.T) {
+	m := heap.Model32
+	l := NewLinkedList[int](Plain())
+	f := l.HeapFootprint()
+	wrapper := m.ObjectFields(1, 0)
+	obj := m.ObjectFields(2, 1)
+	entry := m.ObjectFields(3, 0)
+	if entry != 24 {
+		t.Fatalf("entry = %d, want 24 (paper §2.3)", entry)
+	}
+	// An empty LinkedList still carries its sentinel entry — the bloat
+	// pathology of §5.3.
+	if f.Live != wrapper+obj+entry {
+		t.Fatalf("empty linked list live = %d, want %d", f.Live, wrapper+obj+entry)
+	}
+	if f.Overhead() != entry {
+		t.Fatalf("empty linked list overhead = %d, want %d", f.Overhead(), entry)
+	}
+	l.Add(1)
+	l.Add(2)
+	f = l.HeapFootprint()
+	if f.Live != wrapper+obj+3*entry {
+		t.Fatalf("live = %d", f.Live)
+	}
+}
+
+func TestLazyArrayListFootprintBeforeFirstUpdate(t *testing.T) {
+	l := NewLazyArrayList[int](Plain(), Cap(100))
+	f := l.HeapFootprint()
+	m := heap.Model32
+	wrapper := m.ObjectFields(1, 0)
+	if f.Live != wrapper+m.ObjectFields(1, 1) {
+		t.Fatalf("unmaterialized lazy list live = %d", f.Live)
+	}
+	eager := NewArrayList[int](Plain(), Cap(100)).HeapFootprint()
+	if f.Live >= eager.Live {
+		t.Fatalf("lazy (%d) should be far smaller than eager cap-100 (%d)", f.Live, eager.Live)
+	}
+	l.Add(1)
+	f2 := l.HeapFootprint()
+	if f2.Live <= f.Live {
+		t.Fatalf("materialization should grow the footprint")
+	}
+}
+
+func TestSingletonListPromotes(t *testing.T) {
+	l := NewSingletonList[string](Plain())
+	if l.Kind() != spec.KindSingletonList {
+		t.Fatalf("kind = %v", l.Kind())
+	}
+	l.Add("a")
+	if l.Kind() != spec.KindSingletonList || l.Get(0) != "a" {
+		t.Fatalf("singleton broken")
+	}
+	l.Add("b") // transparent upgrade instead of the paper's immutability
+	if l.Kind() != spec.KindArrayList {
+		t.Fatalf("kind after promote = %v", l.Kind())
+	}
+	if l.Get(0) != "a" || l.Get(1) != "b" || l.Size() != 2 {
+		t.Fatalf("promotion lost data: %v", l.ToSlice())
+	}
+}
+
+func TestIntArrayList(t *testing.T) {
+	l := NewIntArrayList(Plain(), Cap(8))
+	for i := 0; i < 5; i++ {
+		l.Add(i * i)
+	}
+	if l.Kind() != spec.KindIntArray {
+		t.Fatalf("kind = %v", l.Kind())
+	}
+	if l.Get(3) != 9 || l.Size() != 5 {
+		t.Fatalf("contents wrong")
+	}
+	m := heap.Model32
+	f := l.HeapFootprint()
+	wrapper := m.ObjectFields(1, 0)
+	if f.Live != wrapper+m.ObjectFields(1, 2)+m.IntArray(8) {
+		t.Fatalf("int array live = %d", f.Live)
+	}
+	// Unboxed storage: an IntArray of cap 8 is smaller than a pointer
+	// ArrayList of cap 8 would be with boxed elements.
+	l.AddAt(0, -1)
+	if l.Get(0) != -1 || l.Get(1) != 0 {
+		t.Fatalf("addAt wrong: %v", l.ToSlice())
+	}
+	l.RemoveAt(0)
+	if !l.Remove(9) || l.Remove(9) {
+		t.Fatalf("remove wrong")
+	}
+	if l.IndexOf(16) < 0 || l.Contains(100) {
+		t.Fatalf("search wrong")
+	}
+	l.Set(0, 7)
+	if l.Get(0) != 7 {
+		t.Fatalf("set wrong")
+	}
+	l.Clear()
+	if l.Size() != 0 {
+		t.Fatalf("clear wrong")
+	}
+}
+
+func TestListAddAllRecordsCopied(t *testing.T) {
+	rt, prof, _ := profiledRuntime(t)
+	src := NewArrayList[int](rt, At("src:1"))
+	src.Add(1)
+	src.Add(2)
+	dst := NewArrayList[int](rt, At("dst:1"))
+	dst.AddAll(src)
+	if got := dst.ToSlice(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("addAll contents: %v", got)
+	}
+	src.Free()
+	dst.Free()
+	profiles := prof.Snapshot()
+	srcP := findByContext(t, profiles, "src:1")
+	dstP := findByContext(t, profiles, "dst:1")
+	if srcP.OpTotals[spec.Copied] != 1 {
+		t.Fatalf("src copied = %d, want 1", srcP.OpTotals[spec.Copied])
+	}
+	if dstP.OpTotals[spec.AddAll] != 1 || dstP.OpTotals[spec.Add] != 0 {
+		t.Fatalf("dst ops wrong: addAll=%d add=%d", dstP.OpTotals[spec.AddAll], dstP.OpTotals[spec.Add])
+	}
+}
+
+func TestNewListFromCopyConstructor(t *testing.T) {
+	rt, prof, _ := profiledRuntime(t)
+	src := NewArrayList[int](rt, At("src:2"))
+	src.Add(5)
+	cp := NewListFrom(rt, src, At("copy:2"))
+	if got := cp.ToSlice(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("copy = %v", got)
+	}
+	src.Free()
+	cp.Free()
+	srcP := findByContext(t, prof.Snapshot(), "src:2")
+	if srcP.OpTotals[spec.Copied] != 1 {
+		t.Fatalf("copy constructor must record Copied on source")
+	}
+}
+
+func TestListIterator(t *testing.T) {
+	l := NewArrayList[int](Plain())
+	for i := 0; i < 3; i++ {
+		l.Add(i)
+	}
+	it := l.Iterator()
+	var got []int
+	for it.HasNext() {
+		got = append(got, it.Next())
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("iterator contents: %v", got)
+	}
+	if it.Remaining() != 0 {
+		t.Fatalf("remaining = %d", it.Remaining())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Next past end must panic")
+		}
+	}()
+	it.Next()
+}
+
+func TestListEachEarlyStop(t *testing.T) {
+	for _, k := range listKinds {
+		l := newListOfKind(t, k)
+		l.Add(1)
+		l.Add(2)
+		l.Add(3)
+		var seen int
+		l.Each(func(int) bool {
+			seen++
+			return seen < 2
+		})
+		if seen != 2 {
+			t.Fatalf("%v: each early stop saw %d", k, seen)
+		}
+	}
+}
+
+func TestListAddAllAt(t *testing.T) {
+	for _, k := range listKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			l := newListOfKind(t, k)
+			for _, v := range []int{1, 2, 5, 6} {
+				l.Add(v)
+			}
+			src := NewArrayList[int](Plain())
+			src.Add(3)
+			src.Add(4)
+			l.AddAllAt(2, src)
+			got := l.ToSlice()
+			want := []int{1, 2, 3, 4, 5, 6}
+			if len(got) != len(want) {
+				t.Fatalf("len = %d: %v", len(got), got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("addAllAt order: %v, want %v", got, want)
+				}
+			}
+			// Insertion at the end appends.
+			end := NewArrayList[int](Plain())
+			end.Add(7)
+			l.AddAllAt(l.Size(), end)
+			if l.Get(l.Size()-1) != 7 {
+				t.Fatalf("addAllAt(end) lost element: %v", l.ToSlice())
+			}
+			// Insertion at the head prepends in order.
+			head := NewArrayList[int](Plain())
+			head.Add(-1)
+			head.Add(0)
+			l.AddAllAt(0, head)
+			if l.Get(0) != -1 || l.Get(1) != 0 {
+				t.Fatalf("addAllAt(0) order: %v", l.ToSlice())
+			}
+		})
+	}
+}
+
+func TestListAddAllAtRecordsOps(t *testing.T) {
+	rt, prof, _ := profiledRuntime(t)
+	dst := NewArrayList[int](rt, At("aaat:dst"))
+	dst.Add(9)
+	src := NewArrayList[int](rt, At("aaat:src"))
+	src.Add(1)
+	dst.AddAllAt(0, src)
+	dst.Free()
+	src.Free()
+	snap := prof.Snapshot()
+	d := findByContext(t, snap, "aaat:dst")
+	if d.OpTotals[spec.AddAllAt] != 1 {
+		t.Fatalf("addAllAt ops = %d", d.OpTotals[spec.AddAllAt])
+	}
+	s := findByContext(t, snap, "aaat:src")
+	if s.OpTotals[spec.Copied] != 1 {
+		t.Fatalf("source copied = %d", s.OpTotals[spec.Copied])
+	}
+}
+
+func TestLazyListEachEarlyStopAndKindAccessors(t *testing.T) {
+	l := NewLazyArrayList[int](Plain())
+	if l.Kind() != spec.KindLazyArrayList || l.Capacity() != 0 {
+		t.Fatalf("unmaterialized accessors: %v/%d", l.Kind(), l.Capacity())
+	}
+	l.Clear() // clear before materialization is a no-op
+	l.Add(1)
+	l.Add(2)
+	var seen int
+	l.Each(func(int) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("early stop saw %d", seen)
+	}
+	if l.Capacity() == 0 {
+		t.Fatalf("materialized capacity = 0")
+	}
+	s := NewSingletonList[int](Plain())
+	if s.Capacity() != 1 {
+		t.Fatalf("singleton capacity = %d", s.Capacity())
+	}
+	ll := NewLinkedList[int](Plain())
+	ll.Add(1)
+	if ll.Capacity() != 1 {
+		t.Fatalf("linked capacity = size, got %d", ll.Capacity())
+	}
+	sll := NewSinglyLinkedList[int](Plain())
+	sll.Add(1)
+	if sll.Capacity() != 1 {
+		t.Fatalf("sll capacity = size, got %d", sll.Capacity())
+	}
+}
+
+func TestIntArrayListEarlyStopAndDefaults(t *testing.T) {
+	l := NewIntArrayList(Plain()) // default capacity
+	if l.Capacity() != defaultListCap {
+		t.Fatalf("default cap = %d", l.Capacity())
+	}
+	l.Add(1)
+	l.Add(2)
+	var seen int
+	l.Each(func(int) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("early stop saw %d", seen)
+	}
+	// addAt in the middle (not the append fast path).
+	l.AddAt(1, 9)
+	if l.Get(1) != 9 || l.Size() != 3 {
+		t.Fatalf("int addAt middle: %v", l.ToSlice())
+	}
+}

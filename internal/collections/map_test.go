@@ -1,0 +1,263 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+)
+
+var mapKinds = []spec.Kind{
+	spec.KindHashMap,
+	spec.KindOpenHashMap,
+	spec.KindArrayMap,
+	spec.KindLazyMap,
+	spec.KindSingletonMap,
+	spec.KindLinkedHashMap,
+	spec.KindSizeAdaptingMap,
+}
+
+func newMapOfKind(t *testing.T, k spec.Kind) *Map[int, int] {
+	t.Helper()
+	return NewHashMap[int, int](Plain(), Impl(k))
+}
+
+func TestMapBasicsAllKinds(t *testing.T) {
+	for _, k := range mapKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			m := newMapOfKind(t, k)
+			if !m.IsEmpty() {
+				t.Fatalf("new map not empty")
+			}
+			if _, replaced := m.Put(1, 10); replaced {
+				t.Fatalf("first put reported replacement")
+			}
+			if old, replaced := m.Put(1, 11); !replaced || old != 10 {
+				t.Fatalf("re-put = %d,%v", old, replaced)
+			}
+			m.Put(2, 20)
+			if m.Size() != 2 {
+				t.Fatalf("size = %d", m.Size())
+			}
+			if v, ok := m.Get(1); !ok || v != 11 {
+				t.Fatalf("get(1) = %d,%v", v, ok)
+			}
+			if _, ok := m.Get(9); ok {
+				t.Fatalf("get(miss) reported ok")
+			}
+			if !m.ContainsKey(2) || m.ContainsKey(9) {
+				t.Fatalf("containsKey wrong")
+			}
+			if !m.ContainsValue(20) || m.ContainsValue(99) {
+				t.Fatalf("containsValue wrong")
+			}
+			if v, ok := m.Remove(1); !ok || v != 11 {
+				t.Fatalf("remove = %d,%v", v, ok)
+			}
+			if _, ok := m.Remove(1); ok {
+				t.Fatalf("double remove reported ok")
+			}
+			m.Clear()
+			if m.Size() != 0 {
+				t.Fatalf("clear failed")
+			}
+		})
+	}
+}
+
+// Differential test: all map implementations behave like the built-in map.
+func TestMapDifferentialAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, k := range mapKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				m := newMapOfKind(t, k)
+				model := map[int]int{}
+				for step := 0; step < 300; step++ {
+					key := rng.Intn(25)
+					val := rng.Intn(100)
+					switch rng.Intn(7) {
+					case 0, 1, 2:
+						old, replaced := m.Put(key, val)
+						wantOld, wantRep := model[key], false
+						if _, ok := model[key]; ok {
+							wantRep = true
+						}
+						if replaced != wantRep || (wantRep && old != wantOld) {
+							t.Fatalf("put(%d) = %d,%v want %d,%v", key, old, replaced, wantOld, wantRep)
+						}
+						model[key] = val
+					case 3:
+						got, ok := m.Get(key)
+						want, wok := model[key]
+						if ok != wok || (ok && got != want) {
+							t.Fatalf("get(%d) = %d,%v want %d,%v", key, got, ok, want, wok)
+						}
+					case 4:
+						got, ok := m.Remove(key)
+						want, wok := model[key]
+						if ok != wok || (ok && got != want) {
+							t.Fatalf("remove(%d) mismatch", key)
+						}
+						delete(model, key)
+					case 5:
+						if m.ContainsKey(key) != containsMapKey(model, key) {
+							t.Fatalf("containsKey(%d) mismatch", key)
+						}
+					case 6:
+						if rng.Intn(40) == 0 {
+							m.Clear()
+							model = map[int]int{}
+						}
+					}
+					if m.Size() != len(model) {
+						t.Fatalf("%v trial %d step %d: size %d != %d", k, trial, step, m.Size(), len(model))
+					}
+				}
+				m.Each(func(k, v int) bool {
+					if model[k] != v {
+						t.Fatalf("final entry %d=%d, want %d", k, v, model[k])
+					}
+					return true
+				})
+			}
+		})
+	}
+}
+
+func containsMapKey(m map[int]int, k int) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func TestHashMapFootprintVsArrayMap(t *testing.T) {
+	// §5.3 TVLA: small HashMaps replaced by ArrayMaps halve the footprint.
+	hm := NewHashMap[int, int](Plain())
+	am := NewArrayMap[int, int](Plain(), Cap(4))
+	for i := 0; i < 4; i++ {
+		hm.Put(i, i)
+		am.Put(i, i)
+	}
+	fh, fa := hm.HeapFootprint(), am.HeapFootprint()
+	if fa.Live*2 > fh.Live {
+		t.Fatalf("small ArrayMap (%d) should be <=half of HashMap (%d)", fa.Live, fh.Live)
+	}
+	// Both report the same core: content is content.
+	if fa.Core != fh.Core {
+		t.Fatalf("core differs: %d vs %d", fa.Core, fh.Core)
+	}
+}
+
+func TestHashMapEntryCost(t *testing.T) {
+	m := heap.Model32
+	hm := NewHashMap[int, int](Plain())
+	empty := hm.HeapFootprint().Live
+	hm.Put(1, 1)
+	one := hm.HeapFootprint().Live
+	if one-empty != m.ObjectFields(3, 1) {
+		t.Fatalf("per-entry cost = %d, want %d (24 bytes: header + k/v/next + hash)",
+			one-empty, m.ObjectFields(3, 1))
+	}
+}
+
+func TestSingletonMapUpgrades(t *testing.T) {
+	m := newMapOfKind(t, spec.KindSingletonMap)
+	m.Put(1, 10)
+	if m.Kind() != spec.KindSingletonMap {
+		t.Fatalf("kind = %v", m.Kind())
+	}
+	m.Put(1, 11) // same key: stays singleton
+	if m.Kind() != spec.KindSingletonMap || m.Size() != 1 {
+		t.Fatalf("same-key put must not promote")
+	}
+	m.Put(2, 20)
+	if m.Kind() != spec.KindArrayMap {
+		t.Fatalf("kind after second key = %v", m.Kind())
+	}
+	if v, _ := m.Get(1); v != 11 {
+		t.Fatalf("promotion lost value")
+	}
+}
+
+func TestLazyMapUnmaterialized(t *testing.T) {
+	m := newMapOfKind(t, spec.KindLazyMap)
+	sm := heap.Model32
+	f := m.HeapFootprint()
+	if f.Live != sm.ObjectFields(1, 0)+sm.ObjectFields(1, 1) {
+		t.Fatalf("unmaterialized lazy map live = %d", f.Live)
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatalf("empty lazy map get misbehaves")
+	}
+	if m.ContainsKey(1) || m.ContainsValue(1) {
+		t.Fatalf("empty lazy map contains misbehaves")
+	}
+	if _, ok := m.Remove(1); ok {
+		t.Fatalf("empty lazy map remove misbehaves")
+	}
+	m.Put(1, 1)
+	if v, ok := m.Get(1); !ok || v != 1 {
+		t.Fatalf("materialized lazy map broken")
+	}
+}
+
+func TestSizeAdaptingMapThresholdSweepMonotonic(t *testing.T) {
+	// Holding n fixed, a threshold >= n keeps the compact representation;
+	// a threshold < n ends in the hash representation.
+	const n = 10
+	footAt := func(threshold int) int64 {
+		m := NewSizeAdaptingMap[int, int](Plain(), AdaptAt(threshold))
+		for i := 0; i < n; i++ {
+			m.Put(i, i)
+		}
+		return m.HeapFootprint().Live
+	}
+	small := footAt(16)
+	big := footAt(4)
+	if small >= big {
+		t.Fatalf("threshold>=n (%d bytes) should beat threshold<n (%d bytes)", small, big)
+	}
+}
+
+func TestMapPutAllRecordsCopied(t *testing.T) {
+	rt, prof, _ := profiledRuntime(t)
+	src := NewHashMap[int, int](rt, At("mapsrc:1"))
+	src.Put(1, 1)
+	dst := NewHashMap[int, int](rt, At("mapdst:1"))
+	dst.PutAll(src)
+	if v, ok := dst.Get(1); !ok || v != 1 {
+		t.Fatalf("putAll lost entry")
+	}
+	src.Free()
+	dst.Free()
+	p := findByContext(t, prof.Snapshot(), "mapsrc:1")
+	if p.OpTotals[spec.Copied] != 1 {
+		t.Fatalf("copied not recorded")
+	}
+	d := findByContext(t, prof.Snapshot(), "mapdst:1")
+	if d.OpTotals[spec.PutAll] != 1 || d.OpTotals[spec.Put] != 0 {
+		t.Fatalf("putAll ops wrong")
+	}
+}
+
+func TestMapIteratorAndKeys(t *testing.T) {
+	m := newMapOfKind(t, spec.KindLinkedHashMap)
+	m.Put(3, 30)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	keys := m.Keys()
+	want := []int{3, 1, 2}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("insertion order lost: %v", keys)
+		}
+	}
+	it := m.Iterator()
+	first := it.Next()
+	if first.Key != 3 || first.Value != 30 {
+		t.Fatalf("iterator pair = %+v", first)
+	}
+}

@@ -1,0 +1,312 @@
+// Package collections implements the Chameleon collections library: generic
+// List / Set / Map wrapper types that delegate to interchangeable backing
+// implementations (paper §4.1–4.2). Each allocation goes through one level
+// of indirection — the wrapper — so the backing implementation can be chosen
+// per allocation context (statically by the programmer, by default, or
+// dynamically by the system) without changing client types.
+//
+// The wrappers perform the library half of semantic profiling: they record
+// every operation and size change into a per-instance record
+// (profiler.Instance, the paper's ObjectContextInfo) and keep the simulated
+// heap informed of footprint changes so the collection-aware GC can compute
+// live/used/core statistics per context.
+package collections
+
+import (
+	"chameleon/internal/alloctx"
+	"chameleon/internal/heap"
+	"chameleon/internal/profiler"
+	"chameleon/internal/spec"
+)
+
+// Decision is a collection-implementation choice: the backing kind and the
+// initial capacity (0 means the implementation default).
+type Decision struct {
+	Impl     spec.Kind
+	Capacity int
+}
+
+// Selector chooses the backing implementation for a new collection. The
+// online fully-automatic mode (paper §3.3.2) implements this interface;
+// def is the declared kind and requested capacity the program asked for.
+type Selector interface {
+	Select(ctxKey uint64, declared spec.Kind, def Decision) Decision
+}
+
+// SelectorFunc adapts a function to the Selector interface.
+type SelectorFunc func(ctxKey uint64, declared spec.Kind, def Decision) Decision
+
+// Select implements Selector.
+func (f SelectorFunc) Select(ctxKey uint64, declared spec.Kind, def Decision) Decision {
+	return f(ctxKey, declared, def)
+}
+
+// Config configures a collections runtime.
+type Config struct {
+	// Heap, when non-nil, receives footprint accounting and runs the
+	// collection-aware GC.
+	Heap *heap.Heap
+	// Profiler, when non-nil, receives trace statistics.
+	Profiler *profiler.Profiler
+	// Contexts interns allocation contexts; required unless Mode is Off.
+	Contexts *alloctx.Table
+	// Mode selects context capture: Off, Static (site labels), or Dynamic
+	// (real stack walks).
+	Mode alloctx.Mode
+	// Depth is the partial-context depth for dynamic capture (default 2,
+	// paper §3.2.1: "a call stack of depth two or three").
+	Depth int
+	// SampleRate captures the dynamic context of 1 in SampleRate
+	// allocations (<=1 captures all).
+	SampleRate int
+	// Selector, when non-nil, chooses implementations at allocation time
+	// (online mode).
+	Selector Selector
+}
+
+// Runtime carries the shared state every collection wrapper needs. A nil
+// *Runtime is valid and means "no profiling, no heap simulation, default
+// implementations" — plain library use.
+type Runtime struct {
+	heap     *heap.Heap
+	prof     *profiler.Profiler
+	contexts *alloctx.Table
+	mode     alloctx.Mode
+	depth    int
+	sampler  *alloctx.Sampler
+	selector Selector
+	model    heap.SizeModel
+	disabled map[spec.Kind]bool
+	kindRate map[spec.Kind]*alloctx.Sampler
+}
+
+// NewRuntime builds a runtime from cfg.
+func NewRuntime(cfg Config) *Runtime {
+	rt := &Runtime{
+		heap:     cfg.Heap,
+		prof:     cfg.Profiler,
+		contexts: cfg.Contexts,
+		mode:     cfg.Mode,
+		depth:    cfg.Depth,
+		selector: cfg.Selector,
+		model:    heap.Model32,
+		disabled: make(map[spec.Kind]bool),
+		kindRate: make(map[spec.Kind]*alloctx.Sampler),
+	}
+	if rt.depth <= 0 {
+		rt.depth = 2
+	}
+	if cfg.SampleRate > 1 {
+		rt.sampler = alloctx.NewSampler(cfg.SampleRate)
+	}
+	if rt.contexts == nil && rt.mode != alloctx.Off {
+		rt.contexts = alloctx.NewTable()
+	}
+	if cfg.Heap != nil {
+		rt.model = cfg.Heap.Model()
+	}
+	return rt
+}
+
+// Plain returns a runtime with everything off: collections behave as an
+// ordinary library.
+func Plain() *Runtime { return NewRuntime(Config{}) }
+
+// DisableTracking turns off context tracking and trace profiling for a
+// declared kind (paper §4.2: "when the potential space saving for a certain
+// type is observed to be low, CHAMELEON can completely turn off tracking of
+// allocation context for that type").
+func (rt *Runtime) DisableTracking(kind spec.Kind) {
+	if rt != nil {
+		rt.disabled[kind] = true
+	}
+}
+
+// SetSampleRate sets a 1-in-rate dynamic-capture sampling rate for one
+// declared kind, overriding the global rate — the paper's "sampling is
+// controlled at the level of a specific constructor" (§4.2). Rate <= 1
+// restores full capture for the kind.
+func (rt *Runtime) SetSampleRate(kind spec.Kind, rate int) {
+	if rt == nil {
+		return
+	}
+	if rate <= 1 {
+		delete(rt.kindRate, kind)
+		return
+	}
+	rt.kindRate[kind] = alloctx.NewSampler(rate)
+}
+
+// SetSelector installs (or clears) the online implementation selector.
+func (rt *Runtime) SetSelector(s Selector) {
+	if rt != nil {
+		rt.selector = s
+	}
+}
+
+// Model reports the size model footprints are computed against.
+func (rt *Runtime) Model() heap.SizeModel {
+	if rt == nil {
+		return heap.Model32
+	}
+	return rt.model
+}
+
+// Heap reports the runtime's heap (may be nil).
+func (rt *Runtime) Heap() *heap.Heap {
+	if rt == nil {
+		return nil
+	}
+	return rt.heap
+}
+
+// Profiler reports the runtime's profiler (may be nil).
+func (rt *Runtime) Profiler() *profiler.Profiler {
+	if rt == nil {
+		return nil
+	}
+	return rt.prof
+}
+
+// Contexts reports the runtime's context table (may be nil when Mode is Off).
+func (rt *Runtime) Contexts() *alloctx.Table {
+	if rt == nil {
+		return nil
+	}
+	return rt.contexts
+}
+
+// allocOpts carries per-allocation options.
+type allocOpts struct {
+	capacity       int
+	site           string
+	forceImpl      spec.Kind
+	adaptThreshold int
+}
+
+// Option configures one collection allocation.
+type Option func(*allocOpts)
+
+// Cap requests an initial capacity.
+func Cap(n int) Option { return func(o *allocOpts) { o.capacity = n } }
+
+// At labels the allocation with a static context (the cheap "VM support"
+// capture mode). The label conventionally looks like the paper's contexts:
+// "pkg.Type.method:line;caller:line".
+func At(label string) Option { return func(o *allocOpts) { o.site = label } }
+
+// Impl forces a specific backing implementation, overriding any selector —
+// the paper's "determined statically by the programmer" choice. This is how
+// Chameleon's suggestions are applied to a program.
+func Impl(k spec.Kind) Option { return func(o *allocOpts) { o.forceImpl = k } }
+
+// resolveContext obtains the allocation context for one allocation
+// according to the runtime's capture mode and the declared kind's sampling
+// policy. It must be called directly by the public constructor so that
+// dynamic capture skips exactly the two library frames (resolveContext and
+// the constructor).
+func (rt *Runtime) resolveContext(o *allocOpts, declared spec.Kind) *alloctx.Context {
+	if rt == nil {
+		return nil
+	}
+	switch rt.mode {
+	case alloctx.Static:
+		if o.site == "" {
+			return nil
+		}
+		return rt.contexts.Static(o.site)
+	case alloctx.Dynamic:
+		if s, ok := rt.kindRate[declared]; ok {
+			if !s.Sample() {
+				return nil
+			}
+		} else if !rt.sampler.Sample() {
+			return nil
+		}
+		return rt.contexts.CaptureDynamic(2, rt.depth)
+	default:
+		return nil
+	}
+}
+
+// decide picks the backing implementation and capacity.
+func (rt *Runtime) decide(ctx *alloctx.Context, declared spec.Kind, o *allocOpts) Decision {
+	def := Decision{Impl: declared, Capacity: o.capacity}
+	if o.forceImpl != spec.KindNone {
+		return Decision{Impl: o.forceImpl, Capacity: o.capacity}
+	}
+	if rt != nil && rt.selector != nil {
+		return rt.selector.Select(ctx.Key(), declared, def)
+	}
+	return def
+}
+
+// base is the state shared by all collection wrappers.
+type base struct {
+	rt     *Runtime
+	inst   *profiler.Instance
+	ticket *heap.Ticket
+	ctxKey uint64
+}
+
+// install wires a freshly constructed wrapper (which must implement
+// heap.Collection) into the profiler and heap.
+func (rt *Runtime) install(b *base, c heap.Collection, ctx *alloctx.Context, declared spec.Kind, dec Decision) {
+	b.rt = rt
+	b.ctxKey = ctx.Key()
+	if rt == nil {
+		return
+	}
+	if rt.prof != nil && !rt.disabled[declared] {
+		b.inst = rt.prof.OnAlloc(ctx, declared, dec.Impl, dec.Capacity)
+	}
+	if rt.heap != nil {
+		b.ticket = rt.heap.Register(c)
+	}
+}
+
+// free releases the wrapper: the heap ticket is freed and the instance
+// record is folded into its context (the finalizer analogue, §4.4).
+func (b *base) free() {
+	if b.ticket != nil {
+		b.ticket.Free()
+		b.ticket = nil
+	}
+	if b.inst != nil {
+		b.rt.prof.OnDeath(b.inst)
+		b.inst = nil
+	}
+}
+
+// recordRead counts a non-mutating operation.
+func (b *base) recordRead(op spec.Op) {
+	if b.inst != nil {
+		b.inst.Record(op)
+	}
+}
+
+// afterMutate counts a mutating operation, notes the new size, and adjusts
+// the heap's running live estimate by the footprint delta.
+func (b *base) afterMutate(op spec.Op, size int, pre, post int64) {
+	if b.inst != nil {
+		b.inst.Record(op)
+		b.inst.NoteSize(size)
+	}
+	if b.ticket != nil && post != pre {
+		b.ticket.Adjust(post - pre)
+	}
+}
+
+// noteIterator counts an iterator creation, its churn, and whether the
+// collection was empty (the Table 2 redundant-iterator rule).
+func (b *base) noteIterator(size int) {
+	if b.inst != nil {
+		b.inst.Record(spec.Iterate)
+		if size == 0 {
+			b.inst.NoteEmptyIterator()
+		}
+	}
+	if b.rt != nil && b.rt.heap != nil {
+		b.rt.heap.Allocated(b.rt.model.ObjectFields(2, 1))
+	}
+}

@@ -1,0 +1,262 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+)
+
+var setKinds = []spec.Kind{
+	spec.KindHashSet,
+	spec.KindOpenHashSet,
+	spec.KindArraySet,
+	spec.KindLazySet,
+	spec.KindLinkedHashSet,
+	spec.KindSizeAdaptingSet,
+}
+
+func newSetOfKind(t *testing.T, k spec.Kind) *Set[int] {
+	t.Helper()
+	return NewHashSet[int](Plain(), Impl(k))
+}
+
+func TestSetBasicsAllKinds(t *testing.T) {
+	for _, k := range setKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			s := newSetOfKind(t, k)
+			if !s.IsEmpty() {
+				t.Fatalf("new set not empty")
+			}
+			if !s.Add(1) || !s.Add(2) {
+				t.Fatalf("add failed")
+			}
+			if s.Add(1) {
+				t.Fatalf("duplicate add must report false")
+			}
+			if s.Size() != 2 {
+				t.Fatalf("size = %d (set invariant violated)", s.Size())
+			}
+			if !s.Contains(1) || s.Contains(3) {
+				t.Fatalf("contains wrong")
+			}
+			if !s.Remove(1) || s.Remove(1) {
+				t.Fatalf("remove wrong")
+			}
+			s.Clear()
+			if s.Size() != 0 || s.Contains(2) {
+				t.Fatalf("clear failed")
+			}
+		})
+	}
+}
+
+// Differential test: all set implementations behave like a reference
+// map-based model under random operation sequences.
+func TestSetDifferentialAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range setKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				s := newSetOfKind(t, k)
+				model := map[int]bool{}
+				for step := 0; step < 300; step++ {
+					v := rng.Intn(30)
+					switch rng.Intn(6) {
+					case 0, 1, 2:
+						got := s.Add(v)
+						if got == model[v] {
+							t.Fatalf("add(%d) = %v with model %v", v, got, model[v])
+						}
+						model[v] = true
+					case 3:
+						got := s.Remove(v)
+						if got != model[v] {
+							t.Fatalf("remove(%d) = %v, want %v", v, got, model[v])
+						}
+						delete(model, v)
+					case 4:
+						if s.Contains(v) != model[v] {
+							t.Fatalf("contains(%d) mismatch", v)
+						}
+					case 5:
+						if rng.Intn(30) == 0 {
+							s.Clear()
+							model = map[int]bool{}
+						}
+					}
+					if s.Size() != len(model) {
+						t.Fatalf("size %d != model %d", s.Size(), len(model))
+					}
+				}
+				// Final contents match.
+				for _, v := range s.ToSlice() {
+					if !model[v] {
+						t.Fatalf("extra element %d", v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLinkedSetsPreserveInsertionOrder(t *testing.T) {
+	for _, k := range []spec.Kind{spec.KindLinkedHashSet, spec.KindArraySet, spec.KindHashSet} {
+		s := newSetOfKind(t, k)
+		for _, v := range []int{5, 3, 9, 1} {
+			s.Add(v)
+		}
+		got := s.ToSlice()
+		want := []int{5, 3, 9, 1}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: order %v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestHashSetFootprintVsArraySet(t *testing.T) {
+	// Table 2: "ArraySet more efficient than an HashSet" for small sets.
+	hs := NewHashSet[int](Plain())
+	as := NewArraySet[int](Plain(), Cap(4))
+	for i := 0; i < 4; i++ {
+		hs.Add(i)
+		as.Add(i)
+	}
+	fh, fa := hs.HeapFootprint(), as.HeapFootprint()
+	if fa.Live >= fh.Live {
+		t.Fatalf("small ArraySet (%d) must be smaller than HashSet (%d)", fa.Live, fh.Live)
+	}
+	if fa.Live*2 > fh.Live {
+		t.Fatalf("expected at least 2x advantage for small sets: %d vs %d", fa.Live, fh.Live)
+	}
+}
+
+func TestHashSetTableGrowth(t *testing.T) {
+	s := NewHashSet[int](Plain())
+	if s.Capacity() != 16 {
+		t.Fatalf("default table = %d, want 16", s.Capacity())
+	}
+	for i := 0; i < 13; i++ { // 13 > 16*0.75 -> doubles
+		s.Add(i)
+	}
+	if s.Capacity() != 32 {
+		t.Fatalf("table after load-factor crossing = %d, want 32", s.Capacity())
+	}
+	big := NewHashSet[int](Plain(), Cap(100))
+	if big.Capacity() != 128 {
+		t.Fatalf("requested 100 -> table %d, want 128", big.Capacity())
+	}
+}
+
+func TestLinkedHashSetEntriesCostMore(t *testing.T) {
+	lhs := NewLinkedHashSet[int](Plain())
+	hs := NewHashSet[int](Plain())
+	for i := 0; i < 8; i++ {
+		lhs.Add(i)
+		hs.Add(i)
+	}
+	if lhs.HeapFootprint().Live <= hs.HeapFootprint().Live {
+		t.Fatalf("linked entries must cost more: %d vs %d",
+			lhs.HeapFootprint().Live, hs.HeapFootprint().Live)
+	}
+}
+
+func TestLazySetUnmaterializedFootprint(t *testing.T) {
+	ls := NewLazySet[int](Plain(), Cap(64))
+	m := heap.Model32
+	f := ls.HeapFootprint()
+	if f.Live != m.ObjectFields(1, 0)+m.ObjectFields(1, 1) {
+		t.Fatalf("unmaterialized lazy set live = %d", f.Live)
+	}
+	if ls.Contains(5) || ls.Remove(5) {
+		t.Fatalf("empty lazy set misbehaves")
+	}
+	ls.Add(5)
+	if !ls.Contains(5) {
+		t.Fatalf("materialized lazy set lost element")
+	}
+	if ls.HeapFootprint().Live <= f.Live {
+		t.Fatalf("materialization should grow footprint")
+	}
+}
+
+func TestSizeAdaptingSetConversion(t *testing.T) {
+	s := NewSizeAdaptingSet[int](Plain(), AdaptAt(8))
+	impl := s.impl.(*sizeAdaptingSet[int])
+	for i := 0; i < 8; i++ {
+		s.Add(i)
+	}
+	if impl.inner.kind() != spec.KindArraySet {
+		t.Fatalf("should still be array at threshold")
+	}
+	smallLive := s.HeapFootprint().Live
+	s.Add(8)
+	if impl.inner.kind() != spec.KindHashSet {
+		t.Fatalf("should convert past threshold")
+	}
+	if s.HeapFootprint().Live <= smallLive {
+		t.Fatalf("hash representation should be larger")
+	}
+	for i := 0; i <= 8; i++ {
+		if !s.Contains(i) {
+			t.Fatalf("conversion lost %d", i)
+		}
+	}
+	s.Clear()
+	if impl.inner.kind() != spec.KindArraySet {
+		t.Fatalf("clear should return to compact representation")
+	}
+	if s.KindName() != "SizeAdaptingSet" {
+		t.Fatalf("reported kind should stay SizeAdaptingSet")
+	}
+}
+
+func TestSetAddAllAndIterator(t *testing.T) {
+	rt, prof, _ := profiledRuntime(t)
+	a := NewHashSet[int](rt, At("setsrc:1"))
+	a.Add(1)
+	a.Add(2)
+	b := NewHashSet[int](rt, At("setdst:1"))
+	b.Add(2)
+	b.AddAll(a)
+	if b.Size() != 2 {
+		t.Fatalf("addAll union size = %d", b.Size())
+	}
+	it := b.Iterator()
+	n := 0
+	for it.HasNext() {
+		it.Next()
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("iterator yielded %d", n)
+	}
+	a.Free()
+	b.Free()
+	src := findByContext(t, prof.Snapshot(), "setsrc:1")
+	if src.OpTotals[spec.Copied] != 1 {
+		t.Fatalf("copied not recorded on source set")
+	}
+}
+
+func TestSetEachEarlyStop(t *testing.T) {
+	for _, k := range setKinds {
+		s := newSetOfKind(t, k)
+		s.Add(1)
+		s.Add(2)
+		s.Add(3)
+		var seen int
+		s.Each(func(int) bool {
+			seen++
+			return false
+		})
+		if seen != 1 {
+			t.Fatalf("%v: early stop saw %d", k, seen)
+		}
+	}
+}

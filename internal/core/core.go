@@ -1,0 +1,150 @@
+// Package core assembles the Chameleon tool from its parts (paper Fig. 1):
+// a Session wires the simulated collection-aware heap, the semantic
+// profiler, allocation-context capture, the collections runtime and —
+// optionally — the fully-automatic online selector, and exposes the two
+// tool outputs: per-cycle potential series (Fig. 2 / Fig. 8) and the
+// rule-engine suggestion report (§2.1, Fig. 3).
+package core
+
+import (
+	"chameleon/internal/adaptive"
+	"chameleon/internal/advisor"
+	"chameleon/internal/alloctx"
+	"chameleon/internal/collections"
+	"chameleon/internal/heap"
+	"chameleon/internal/profiler"
+	"chameleon/internal/stats"
+)
+
+// Config configures a Session.
+type Config struct {
+	// Mode selects allocation-context capture (default Static).
+	Mode alloctx.Mode
+	// Depth is the dynamic-capture partial-context depth (default 2).
+	Depth int
+	// SampleRate captures 1 in N dynamic contexts (<=1: all).
+	SampleRate int
+	// Model is the simulated object layout (default heap.Model32).
+	Model heap.SizeModel
+	// GCThreshold is the allocation volume between GC cycles (default 1 MiB).
+	GCThreshold int64
+	// KeepSnapshots retains per-cycle statistics for the Fig. 2 / Fig. 8
+	// series (default true).
+	DropSnapshots bool
+	// KeepContexts additionally retains per-context data inside each kept
+	// snapshot, enabling the §4.4 context-level time series.
+	KeepContexts bool
+	// Online enables the fully-automatic selector (§3.3.2).
+	Online bool
+	// OnlineOptions tune the online selector.
+	OnlineOptions adaptive.Options
+	// Selector installs a fixed selector (e.g. an advisor.Plan derived
+	// from a previous run's report) when Online is false.
+	Selector collections.Selector
+	// NoProfiling turns trace profiling off entirely (heap simulation
+	// still runs); used for baseline timing runs.
+	NoProfiling bool
+	// Limit, when positive, is a hard cap on simulated live bytes; an
+	// allocation exceeding it panics with heap.OOMError (used by the
+	// minimal-heap search).
+	Limit int64
+	// Generational selects the two-region collector (see heap.Config);
+	// per-context statistics come from major cycles only and are
+	// identical to the full collector's (§4.3.2).
+	Generational bool
+	// MinorPerMajor is the generational minor:major cadence (default 4).
+	MinorPerMajor int
+}
+
+// Session is one profiled program run.
+type Session struct {
+	Heap     *heap.Heap
+	Prof     *profiler.Profiler
+	Contexts *alloctx.Table
+	Selector *adaptive.Selector
+
+	rt *collections.Runtime
+}
+
+// NewSession builds a fully wired session.
+func NewSession(cfg Config) *Session {
+	s := &Session{Contexts: alloctx.NewTable()}
+	if cfg.Mode == 0 {
+		cfg.Mode = alloctx.Static
+	}
+	var obs heap.Observer
+	if !cfg.NoProfiling {
+		s.Prof = profiler.New()
+		obs = s.Prof
+	}
+	s.Heap = heap.New(heap.Config{
+		Model:         cfg.Model,
+		GCThreshold:   cfg.GCThreshold,
+		Observer:      obs,
+		KeepSnapshots: !cfg.DropSnapshots,
+		KeepContexts:  cfg.KeepContexts,
+		Generational:  cfg.Generational,
+		MinorPerMajor: cfg.MinorPerMajor,
+		Limit:         cfg.Limit,
+	})
+	sel := cfg.Selector
+	if cfg.Online && s.Prof != nil {
+		s.Selector = adaptive.New(s.Prof, cfg.OnlineOptions)
+		sel = s.Selector
+	}
+	s.rt = collections.NewRuntime(collections.Config{
+		Heap:       s.Heap,
+		Profiler:   s.Prof,
+		Contexts:   s.Contexts,
+		Mode:       cfg.Mode,
+		Depth:      cfg.Depth,
+		SampleRate: cfg.SampleRate,
+		Selector:   sel,
+	})
+	return s
+}
+
+// Runtime reports the collections runtime workloads allocate through.
+func (s *Session) Runtime() *collections.Runtime { return s.rt }
+
+// Report snapshots the profiler and applies the rule engine.
+func (s *Session) Report(opts advisor.Options) (*advisor.Report, error) {
+	if s.Prof == nil {
+		return &advisor.Report{}, nil
+	}
+	return advisor.Advise(s.Prof.Snapshot(), opts)
+}
+
+// CyclePoint is one GC cycle of the Fig. 2 / Fig. 8 series: the share of
+// total live data held by collections, split into live / used / core.
+type CyclePoint struct {
+	Cycle   int
+	LivePct float64
+	UsedPct float64
+	CorePct float64
+	// Absolute values, for the tables.
+	LiveData    int64
+	Collections heap.Footprint
+}
+
+// PotentialSeries converts the retained heap snapshots into the Fig. 2
+// percentage series.
+func (s *Session) PotentialSeries() []CyclePoint {
+	snaps := s.Heap.Snapshots()
+	out := make([]CyclePoint, 0, len(snaps))
+	for _, c := range snaps {
+		out = append(out, CyclePoint{
+			Cycle:       c.Cycle,
+			LivePct:     stats.Percent(float64(c.Collections.Live), float64(c.LiveData)),
+			UsedPct:     stats.Percent(float64(c.Collections.Used), float64(c.LiveData)),
+			CorePct:     stats.Percent(float64(c.Collections.Core), float64(c.LiveData)),
+			LiveData:    c.LiveData,
+			Collections: c.Collections,
+		})
+	}
+	return out
+}
+
+// FinalGC forces a final collection cycle so end-of-run statistics are
+// recorded even when the allocation volume since the last cycle is small.
+func (s *Session) FinalGC() { s.Heap.GC() }

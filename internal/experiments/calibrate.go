@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+// Calibration implements the paper's remark that the rule constants "are
+// not shown, as they may be tuned per specific environment" (§3.3.1): it
+// measures, on the machine at hand, the collection size at which the
+// hashed implementations overtake the array implementations on lookup
+// time, and derives the small-collection threshold Z from it.
+
+// CalibrationRow is one size point of the crossover measurement.
+type CalibrationRow struct {
+	Size      int
+	ArrayNsOp float64
+	HashNsOp  float64
+	ArrayWins bool
+}
+
+// CalibrationResult is the measured crossover and the derived Z.
+type CalibrationResult struct {
+	MapRows []CalibrationRow
+	SetRows []CalibrationRow
+	// CrossoverMap/Set are the smallest measured sizes at which the hash
+	// implementation wins lookups (0 = array won everywhere measured).
+	CrossoverMap int
+	CrossoverSet int
+	// SuggestedZ is the derived small-collection threshold for the rule
+	// parameter environment.
+	SuggestedZ int
+}
+
+// measureMapGet times Get on a populated map implementation.
+func measureMapGet(kind spec.Kind, size, iters int) float64 {
+	m := collections.NewHashMap[int, int](collections.Plain(), collections.Impl(kind), collections.Cap(size))
+	for i := 0; i < size; i++ {
+		m.Put(i, i)
+	}
+	start := time.Now()
+	var sink int
+	for i := 0; i < iters; i++ {
+		v, _ := m.Get(i % size)
+		sink += v
+	}
+	d := time.Since(start)
+	_ = sink
+	return float64(d.Nanoseconds()) / float64(iters)
+}
+
+// measureSetContains times Contains on a populated set implementation.
+func measureSetContains(kind spec.Kind, size, iters int) float64 {
+	s := collections.NewHashSet[int](collections.Plain(), collections.Impl(kind), collections.Cap(size))
+	for i := 0; i < size; i++ {
+		s.Add(i)
+	}
+	start := time.Now()
+	var sink bool
+	for i := 0; i < iters; i++ {
+		sink = s.Contains(i % size)
+	}
+	d := time.Since(start)
+	_ = sink
+	return float64(d.Nanoseconds()) / float64(iters)
+}
+
+// Calibrate measures the array-vs-hash lookup crossover at the given sizes
+// (defaults: 2..256 by powers of two) and derives Z. Each point takes the
+// best of reps repetitions.
+func Calibrate(sizes []int, iters, reps int) CalibrationResult {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	if iters <= 0 {
+		iters = 200000
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	best := func(f func() float64) float64 {
+		out := f()
+		for i := 1; i < reps; i++ {
+			if v := f(); v < out {
+				out = v
+			}
+		}
+		return out
+	}
+	var res CalibrationResult
+	for _, n := range sizes {
+		n := n
+		arr := best(func() float64 { return measureMapGet(spec.KindArrayMap, n, iters) })
+		hsh := best(func() float64 { return measureMapGet(spec.KindHashMap, n, iters) })
+		row := CalibrationRow{Size: n, ArrayNsOp: arr, HashNsOp: hsh, ArrayWins: arr <= hsh}
+		res.MapRows = append(res.MapRows, row)
+		if !row.ArrayWins && res.CrossoverMap == 0 {
+			res.CrossoverMap = n
+		}
+		arrS := best(func() float64 { return measureSetContains(spec.KindArraySet, n, iters) })
+		hshS := best(func() float64 { return measureSetContains(spec.KindHashSet, n, iters) })
+		rowS := CalibrationRow{Size: n, ArrayNsOp: arrS, HashNsOp: hshS, ArrayWins: arrS <= hshS}
+		res.SetRows = append(res.SetRows, rowS)
+		if !rowS.ArrayWins && res.CrossoverSet == 0 {
+			res.CrossoverSet = n
+		}
+	}
+	// Z: the smaller of the two crossovers; when the array wins everywhere
+	// measured, keep the default conservative bound of the largest size.
+	switch {
+	case res.CrossoverMap > 0 && res.CrossoverSet > 0:
+		res.SuggestedZ = min(res.CrossoverMap, res.CrossoverSet)
+	case res.CrossoverMap > 0:
+		res.SuggestedZ = res.CrossoverMap
+	case res.CrossoverSet > 0:
+		res.SuggestedZ = res.CrossoverSet
+	default:
+		res.SuggestedZ = sizes[len(sizes)-1]
+	}
+	return res
+}
+
+// FormatCalibration renders the calibration tables.
+func FormatCalibration(r CalibrationResult) string {
+	var b strings.Builder
+	render := func(title string, rows []CalibrationRow) {
+		fmt.Fprintf(&b, "%s\n%8s %12s %12s %8s\n", title, "size", "array ns/op", "hash ns/op", "winner")
+		for _, row := range rows {
+			winner := "hash"
+			if row.ArrayWins {
+				winner = "array"
+			}
+			fmt.Fprintf(&b, "%8d %12.1f %12.1f %8s\n", row.Size, row.ArrayNsOp, row.HashNsOp, winner)
+		}
+	}
+	render("map get (ArrayMap vs HashMap):", r.MapRows)
+	render("set contains (ArraySet vs HashSet):", r.SetRows)
+	fmt.Fprintf(&b, "crossovers: map=%d set=%d -> suggested rule parameter Z=%d (default 16)\n",
+		r.CrossoverMap, r.CrossoverSet, r.SuggestedZ)
+	return b.String()
+}

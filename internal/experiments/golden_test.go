@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chameleon/internal/advisor"
+	"chameleon/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// The §2.1 report for TVLA is fully deterministic (seeded workload, static
+// contexts, simulated heap); lock its exact text as a golden file so any
+// change to profiling, ranking, rules or formatting is a conscious one.
+// Regenerate with: go test ./internal/experiments -run TestGolden -update
+func TestGoldenTVLAReport(t *testing.T) {
+	spec0, err := workloads.ByName("tvla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(spec0, workloads.Baseline, 80, defaultConfig())
+	rep, err := r.Session.Report(advisor.Options{Top: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.FormatTopContexts(2) + "\n" + rep.Format()
+
+	path := filepath.Join("testdata", "tvla_report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("report changed; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

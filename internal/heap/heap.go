@@ -1,0 +1,470 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Collection is the semantic-map interface: any object registered with the
+// heap that can report its own footprint. The paper's semantic ADT maps
+// (§4.3.2) describe, per collection type, how the collector finds the
+// object's size, used size, and allocation-context pointer; here that
+// knowledge lives in each implementation's HeapFootprint method, and the
+// simulated collector is parametric over it exactly as the paper's
+// collector is parametric over the maps (custom collection implementations
+// plug in by implementing this interface).
+type Collection interface {
+	// HeapFootprint reports the current live/used/core bytes of the
+	// collection and all its internal objects under the heap's size model.
+	HeapFootprint() Footprint
+	// ContextKey identifies the allocation context the collection was
+	// allocated at (0 when context tracking was off for this instance).
+	ContextKey() uint64
+	// KindName is the implementation type name, used for the per-type
+	// live-size breakdown of paper Table 3.
+	KindName() string
+}
+
+// CycleStats is the set of statistics gathered on every garbage-collection
+// cycle (paper Table 3).
+type CycleStats struct {
+	// Cycle is the 1-based GC cycle number.
+	Cycle int
+	// LiveData is the size of all reachable objects (application data plus
+	// collections).
+	LiveData int64
+	// Collections is the aggregate footprint of all live collection
+	// objects.
+	Collections Footprint
+	// CollectionObjects is the number of live collection objects.
+	CollectionObjects int64
+	// TypeDist is the live-size breakdown per implementation type.
+	TypeDist map[string]int64
+	// PerContext is the per-allocation-context collection footprint and
+	// object count observed in this cycle. The collector records these
+	// into each context's ContextInfo (paper §4.3.1); observers receive
+	// the same data.
+	PerContext map[uint64]ContextCycle
+}
+
+// ContextCycle is one context's collection footprint within a single cycle.
+type ContextCycle struct {
+	Footprint Footprint
+	Objects   int64
+}
+
+// Observer receives each completed GC cycle. The profiler implements this
+// to fold heap statistics into per-context trace statistics (Table 1).
+type Observer interface {
+	ObserveCycle(c *CycleStats)
+}
+
+// Config configures a simulated heap.
+type Config struct {
+	// Model is the object-layout model; the zero value defaults to Model32.
+	Model SizeModel
+	// GCThreshold is the number of allocated bytes between GC cycles; the
+	// zero value defaults to 1 MiB.
+	GCThreshold int64
+	// Observer, when non-nil, receives every GC cycle.
+	Observer Observer
+	// KeepSnapshots retains every CycleStats for later inspection (used to
+	// draw the Fig. 2 / Fig. 8 per-cycle series). PerContext maps are
+	// retained only when KeepContexts is also set.
+	KeepSnapshots bool
+	// KeepContexts retains per-context data inside kept snapshots.
+	KeepContexts bool
+	// Generational enables a two-region (young/old) collector: most
+	// trigger points run cheap minor cycles that walk only young
+	// collections, with a full (major) cycle every MinorPerMajor+1
+	// triggers. Only major cycles produce the Table 3 statistics, so the
+	// per-context aggregates are identical to the non-generational
+	// collector's — the paper's observation that "the improvements in
+	// collection usage are orthogonal to the specific GC" (§4.3.2).
+	Generational bool
+	// MinorPerMajor is the number of minor cycles between major cycles
+	// in generational mode (default 4).
+	MinorPerMajor int
+	// Limit, when positive, is a hard cap on live bytes: an allocation
+	// that would push the live set past it panics with an OOMError. This
+	// is how "the minimal heap-size required to run the application"
+	// (§2.1, §5.2) is made operational: a run completes iff its peak live
+	// data fits the limit.
+	Limit int64
+}
+
+// OOMError is the panic value raised when the heap limit is exceeded.
+type OOMError struct {
+	// Needed is the live-byte total the allocation required.
+	Needed int64
+	// Limit is the configured cap.
+	Limit int64
+}
+
+// Error implements the error interface.
+func (e OOMError) Error() string {
+	return fmt.Sprintf("heap: out of memory: %d bytes live exceeds the %d-byte limit", e.Needed, e.Limit)
+}
+
+type entry struct {
+	coll   Collection
+	ticket *Ticket
+}
+
+// Heap is a simulated managed heap. It tracks plain application data by
+// size, tracks collections through their semantic maps, triggers GC cycles
+// by allocation volume, and maintains the aggregate statistics the
+// Chameleon profiler consumes. Heap is not safe for concurrent use; each
+// workload run owns one Heap.
+type Heap struct {
+	model       SizeModel
+	gcThreshold int64
+	observer    Observer
+	keepSnaps   bool
+	keepCtx     bool
+
+	// regions hold the live collection registry: region 0 is young,
+	// region 1 is old. The non-generational collector keeps everything in
+	// young and always walks both.
+	regions   [2][]entry
+	dataLive  int64 // live bytes of plain application data
+	collLive  int64 // running estimate of live collection bytes
+	peakLive  int64 // high-water mark of dataLive+collLive
+	sinceGC   int64 // bytes allocated since the last cycle
+	allocated int64 // total bytes ever allocated
+	numGC     int
+
+	generational  bool
+	minorPerMajor int
+	limit         int64
+	gcTriggers    int
+	numMinorGC    int
+	promotedBytes int64
+
+	// Aggregates across cycles (the Total/Max columns of Table 1).
+	totLiveData int64
+	maxLiveData int64
+	totColl     Footprint
+	maxColl     Footprint
+	totCollObjs int64
+	maxCollObjs int64
+
+	snapshots []CycleStats
+}
+
+// New returns a heap with the given configuration.
+func New(cfg Config) *Heap {
+	if cfg.Model == (SizeModel{}) {
+		cfg.Model = Model32
+	}
+	if cfg.GCThreshold <= 0 {
+		cfg.GCThreshold = 1 << 20
+	}
+	if cfg.MinorPerMajor <= 0 {
+		cfg.MinorPerMajor = 4
+	}
+	return &Heap{
+		model:         cfg.Model,
+		gcThreshold:   cfg.GCThreshold,
+		observer:      cfg.Observer,
+		keepSnaps:     cfg.KeepSnapshots,
+		keepCtx:       cfg.KeepContexts,
+		generational:  cfg.Generational,
+		minorPerMajor: cfg.MinorPerMajor,
+		limit:         cfg.Limit,
+	}
+}
+
+// Model reports the heap's size model.
+func (h *Heap) Model() SizeModel { return h.model }
+
+// Ticket is a handle to a registered live collection; freeing it removes
+// the collection from the live set (the simulator's analogue of the object
+// becoming unreachable).
+type Ticket struct {
+	h      *Heap
+	slot   int
+	live   int64 // last reported live bytes, for the running estimate
+	region int8  // 0 young, 1 old
+	age    int8  // minor cycles survived (generational mode)
+}
+
+// Register adds a collection to the live set (young region) and returns
+// its ticket.
+func (h *Heap) Register(c Collection) *Ticket {
+	t := &Ticket{h: h, slot: len(h.regions[0])}
+	h.regions[0] = append(h.regions[0], entry{coll: c, ticket: t})
+	f := c.HeapFootprint()
+	t.live = f.Live
+	h.collLive += f.Live
+	h.bumpPeak()
+	h.Allocated(f.Live)
+	return t
+}
+
+// Free removes the ticketed collection from the live set. Freeing twice is
+// a no-op.
+func (t *Ticket) Free() {
+	h := t.h
+	if h == nil || t.slot < 0 {
+		return
+	}
+	region := h.regions[t.region]
+	last := len(region) - 1
+	moved := region[last]
+	region[t.slot] = moved
+	moved.ticket.slot = t.slot
+	h.regions[t.region] = region[:last]
+	h.collLive -= t.live
+	t.slot = -1
+	t.h = nil
+}
+
+// Adjust records a change of delta live bytes for the ticketed collection
+// (called by implementations when they grow or shrink). Positive deltas
+// count as allocation volume and may trigger a GC cycle.
+func (t *Ticket) Adjust(delta int64) {
+	h := t.h
+	if h == nil {
+		return
+	}
+	t.live += delta
+	h.collLive += delta
+	if delta > 0 {
+		h.bumpPeak()
+		h.Allocated(delta)
+	}
+}
+
+// Data is a handle to plain (non-collection) application data.
+type Data struct {
+	h     *Heap
+	bytes int64
+}
+
+// AllocData records size bytes of live application data and returns a
+// handle to free it. Application data is what makes the "collections as a
+// percentage of live data" series of Fig. 2 meaningful.
+func (h *Heap) AllocData(size int64) *Data {
+	size = h.model.AlignUp(size)
+	h.dataLive += size
+	h.bumpPeak()
+	h.Allocated(size)
+	return &Data{h: h, bytes: size}
+}
+
+// Free releases the application data. Freeing twice is a no-op.
+func (d *Data) Free() {
+	if d.h == nil {
+		return
+	}
+	d.h.dataLive -= d.bytes
+	d.h = nil
+}
+
+// Allocated records allocation volume (churn) without changing the live
+// set, and runs a GC cycle when the inter-cycle threshold is crossed.
+// Short-lived garbage (the PMD pathology, §5.3) shows up as churn: it does
+// not raise peak live data but forces more frequent cycles. In
+// generational mode most triggers run a cheap minor cycle.
+func (h *Heap) Allocated(bytes int64) {
+	h.allocated += bytes
+	h.sinceGC += bytes
+	for h.sinceGC >= h.gcThreshold {
+		h.sinceGC -= h.gcThreshold
+		if h.generational {
+			h.gcTriggers++
+			if h.gcTriggers%(h.minorPerMajor+1) == 0 {
+				h.GC()
+			} else {
+				h.MinorGC()
+			}
+		} else {
+			h.GC()
+		}
+	}
+}
+
+// promoteAge is the number of minor cycles a young collection must survive
+// before promotion to the old region.
+const promoteAge = 2
+
+// MinorGC runs a generational minor cycle: it walks only the young region,
+// ages survivors, and promotes those that have survived promoteAge minor
+// cycles. Minor cycles refresh the live estimate for young collections but
+// record no Table 3 statistics (the collection-aware bookkeeping
+// piggybacks on full marking, which only major cycles perform).
+func (h *Heap) MinorGC() {
+	h.numMinorGC++
+	young := h.regions[0]
+	var kept int
+	for i := range young {
+		e := young[i]
+		f := e.coll.HeapFootprint()
+		h.collLive += f.Live - e.ticket.live
+		e.ticket.live = f.Live
+		e.ticket.age++
+		if e.ticket.age >= promoteAge {
+			e.ticket.region = 1
+			e.ticket.slot = len(h.regions[1])
+			h.regions[1] = append(h.regions[1], e)
+			h.promotedBytes += f.Live
+			continue
+		}
+		e.ticket.slot = kept
+		young[kept] = e
+		kept++
+	}
+	h.regions[0] = young[:kept]
+	h.bumpPeak()
+}
+
+func (h *Heap) bumpPeak() {
+	v := h.dataLive + h.collLive
+	if v > h.peakLive {
+		h.peakLive = v
+	}
+	if h.limit > 0 && v > h.limit {
+		panic(OOMError{Needed: v, Limit: h.limit})
+	}
+}
+
+// GC runs one simulated collection cycle: it walks the live set, consults
+// every collection's semantic map, records the Table 3 statistics, resyncs
+// the running live estimate, and notifies the observer.
+func (h *Heap) GC() {
+	h.numGC++
+	cs := CycleStats{
+		Cycle:      h.numGC,
+		TypeDist:   make(map[string]int64),
+		PerContext: make(map[uint64]ContextCycle),
+	}
+	var coll Footprint
+	var objects int64
+	for r := range h.regions {
+		for i := range h.regions[r] {
+			e := &h.regions[r][i]
+			f := e.coll.HeapFootprint()
+			coll = coll.Add(f)
+			e.ticket.live = f.Live
+			cs.TypeDist[e.coll.KindName()] += f.Live
+			cc := cs.PerContext[e.coll.ContextKey()]
+			cc.Footprint = cc.Footprint.Add(f)
+			cc.Objects++
+			cs.PerContext[e.coll.ContextKey()] = cc
+			objects++
+		}
+	}
+	h.collLive = coll.Live // resync the running estimate to exact values
+	h.bumpPeak()
+	cs.Collections = coll
+	cs.CollectionObjects = objects
+	cs.LiveData = h.dataLive + coll.Live
+
+	h.totLiveData += cs.LiveData
+	if cs.LiveData > h.maxLiveData {
+		h.maxLiveData = cs.LiveData
+	}
+	h.totColl = h.totColl.Add(coll)
+	if coll.Live > h.maxColl.Live {
+		h.maxColl.Live = coll.Live
+	}
+	if coll.Used > h.maxColl.Used {
+		h.maxColl.Used = coll.Used
+	}
+	if coll.Core > h.maxColl.Core {
+		h.maxColl.Core = coll.Core
+	}
+	h.totCollObjs += cs.CollectionObjects
+	if cs.CollectionObjects > h.maxCollObjs {
+		h.maxCollObjs = cs.CollectionObjects
+	}
+
+	if h.observer != nil {
+		h.observer.ObserveCycle(&cs)
+	}
+	if h.keepSnaps {
+		kept := cs
+		if !h.keepCtx {
+			kept.PerContext = nil
+		}
+		h.snapshots = append(h.snapshots, kept)
+	}
+}
+
+// Stats is the heap-wide summary after (or during) a run.
+type Stats struct {
+	NumGC             int
+	NumMinorGC        int
+	PromotedBytes     int64
+	TotalAllocated    int64
+	PeakLive          int64 // high-water mark of live bytes; the minimal-heap measure
+	TotalLiveData     int64 // sum over cycles (Table 1 "Overall live data", Total)
+	MaxLiveData       int64 // max over cycles (Table 1 "Overall live data", Max)
+	TotalCollections  Footprint
+	MaxCollections    Footprint
+	TotalCollectionNo int64
+	MaxCollectionNo   int64
+}
+
+// Stats reports the heap-wide aggregates.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		NumGC:             h.numGC,
+		NumMinorGC:        h.numMinorGC,
+		PromotedBytes:     h.promotedBytes,
+		TotalAllocated:    h.allocated,
+		PeakLive:          h.peakLive,
+		TotalLiveData:     h.totLiveData,
+		MaxLiveData:       h.maxLiveData,
+		TotalCollections:  h.totColl,
+		MaxCollections:    h.maxColl,
+		TotalCollectionNo: h.totCollObjs,
+		MaxCollectionNo:   h.maxCollObjs,
+	}
+}
+
+// LiveCollections reports the number of currently registered collections.
+func (h *Heap) LiveCollections() int { return len(h.regions[0]) + len(h.regions[1]) }
+
+// LiveBytes reports the current live bytes (data plus collections, running
+// estimate).
+func (h *Heap) LiveBytes() int64 { return h.dataLive + h.collLive }
+
+// Snapshots reports the retained per-cycle statistics (requires
+// Config.KeepSnapshots).
+func (h *Heap) Snapshots() []CycleStats { return h.snapshots }
+
+// MinimalHeap reports the simulated minimal heap size required to run the
+// program so far: the live-data high-water mark rounded up to the size
+// model's alignment. Paper §5.2 step 6 evaluates optimizations by this
+// measure.
+func (h *Heap) MinimalHeap() int64 { return h.model.AlignUp(h.peakLive) }
+
+// FormatTypeDist renders a Table 3 type distribution sorted by descending
+// live size, for reports.
+func FormatTypeDist(dist map[string]int64) string {
+	type kv struct {
+		k string
+		v int64
+	}
+	rows := make([]kv, 0, len(dist))
+	for k, v := range dist {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", r.k, r.v)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+	"chameleon/internal/stats"
+)
+
+// profileWire is the full serialization shape of a Profile: everything the
+// rule engine needs to run offline, including per-op means and deviations.
+type profileWire struct {
+	Context        string             `json:"context"`
+	Declared       string             `json:"declared"`
+	Impl           string             `json:"impl"`
+	Allocs         int64              `json:"allocs"`
+	Live           int64              `json:"live"`
+	Ops            map[string]int64   `json:"ops,omitempty"`
+	OpsMean        map[string]float64 `json:"opsMean,omitempty"`
+	OpsStdDev      map[string]float64 `json:"opsStdDev,omitempty"`
+	MaxSizeAvg     float64            `json:"maxSizeAvg"`
+	MaxSizeStdDev  float64            `json:"maxSizeStdDev"`
+	MaxSizeMax     float64            `json:"maxSizeMax"`
+	FinalSizeAvg   float64            `json:"finalSizeAvg"`
+	InitialCapAvg  float64            `json:"initialCapAvg"`
+	EmptyIterators int64              `json:"emptyIterators,omitempty"`
+	MaxLive        int64              `json:"maxLive"`
+	MaxUsed        int64              `json:"maxUsed"`
+	MaxCore        int64              `json:"maxCore"`
+	TotLive        int64              `json:"totLive"`
+	TotUsed        int64              `json:"totUsed"`
+	TotCore        int64              `json:"totCore"`
+	TotObjs        int64              `json:"totObjects,omitempty"`
+	MaxObjs        int64              `json:"maxObjects,omitempty"`
+	GCCycles       int64              `json:"gcCycles"`
+	Potential      int64              `json:"potential"`
+}
+
+func (p *Profile) toWire() profileWire {
+	w := profileWire{
+		Context:        p.Context.String(),
+		Declared:       p.Declared.String(),
+		Impl:           p.Impl.String(),
+		Allocs:         p.Allocs,
+		Live:           p.Live,
+		Ops:            map[string]int64{},
+		OpsMean:        map[string]float64{},
+		OpsStdDev:      map[string]float64{},
+		MaxSizeAvg:     p.MaxSizeAvg,
+		MaxSizeStdDev:  p.MaxSizeStdDev,
+		MaxSizeMax:     p.MaxSizeMax,
+		FinalSizeAvg:   p.FinalSizeAvg,
+		InitialCapAvg:  p.InitialCapAvg,
+		EmptyIterators: p.EmptyIterators,
+		MaxLive:        p.MaxHeap.Live,
+		MaxUsed:        p.MaxHeap.Used,
+		MaxCore:        p.MaxHeap.Core,
+		TotLive:        p.TotHeap.Live,
+		TotUsed:        p.TotHeap.Used,
+		TotCore:        p.TotHeap.Core,
+		TotObjs:        p.TotObjs,
+		MaxObjs:        p.MaxObjs,
+		GCCycles:       p.GCCycles,
+		Potential:      p.Potential(),
+	}
+	for op := spec.Op(0); op < spec.NumOps; op++ {
+		if p.OpTotals[op] != 0 {
+			w.Ops[op.String()] = p.OpTotals[op]
+		}
+		if p.OpMean[op] != 0 {
+			w.OpsMean[op.String()] = p.OpMean[op]
+		}
+		if p.OpStdDev[op] != 0 {
+			w.OpsStdDev[op.String()] = p.OpStdDev[op]
+		}
+	}
+	return w
+}
+
+func (w profileWire) toProfile(contexts *alloctx.Table) (*Profile, error) {
+	declared, ok := spec.KindByName(w.Declared)
+	if !ok {
+		return nil, fmt.Errorf("profiler: unknown declared kind %q", w.Declared)
+	}
+	impl, ok := spec.KindByName(w.Impl)
+	if !ok {
+		return nil, fmt.Errorf("profiler: unknown impl kind %q", w.Impl)
+	}
+	p := &Profile{
+		Context:        contexts.Static(w.Context),
+		Declared:       declared,
+		Impl:           impl,
+		Allocs:         w.Allocs,
+		Live:           w.Live,
+		MaxSizeAvg:     w.MaxSizeAvg,
+		MaxSizeStdDev:  w.MaxSizeStdDev,
+		MaxSizeMax:     w.MaxSizeMax,
+		FinalSizeAvg:   w.FinalSizeAvg,
+		InitialCapAvg:  w.InitialCapAvg,
+		SizeHist:       stats.NewHistogram(),
+		EmptyIterators: w.EmptyIterators,
+		MaxHeap:        heap.Footprint{Live: w.MaxLive, Used: w.MaxUsed, Core: w.MaxCore},
+		TotHeap:        heap.Footprint{Live: w.TotLive, Used: w.TotUsed, Core: w.TotCore},
+		TotObjs:        w.TotObjs,
+		MaxObjs:        w.MaxObjs,
+		GCCycles:       w.GCCycles,
+	}
+	resolve := func(name string) (spec.Op, error) {
+		op, ok := spec.OpByName(name)
+		if !ok {
+			return 0, fmt.Errorf("profiler: unknown operation %q", name)
+		}
+		return op, nil
+	}
+	for name, v := range w.Ops {
+		op, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		p.OpTotals[op] = v
+	}
+	for name, v := range w.OpsMean {
+		op, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		p.OpMean[op] = v
+	}
+	for name, v := range w.OpsStdDev {
+		op, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		p.OpStdDev[op] = v
+	}
+	return p, nil
+}
+
+// WriteProfiles serializes a snapshot as a JSON array, enabling the
+// offline workflow: profile once, evaluate rule sets later without
+// re-running the program. Profiles are ordered by descending potential
+// (ties by context string) so the artifact is byte-stable across runs of a
+// deterministic program.
+func WriteProfiles(w io.Writer, profiles []*Profile) error {
+	ordered := Rank(profiles)
+	wire := make([]profileWire, len(ordered))
+	for i, p := range ordered {
+		wire[i] = p.toWire()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wire)
+}
+
+// ReadProfiles deserializes a snapshot written by WriteProfiles. Contexts
+// are re-interned into a fresh table.
+func ReadProfiles(r io.Reader) ([]*Profile, error) {
+	var wire []profileWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("profiler: decoding snapshot: %w", err)
+	}
+	contexts := alloctx.NewTable()
+	out := make([]*Profile, len(wire))
+	for i, w := range wire {
+		p, err := w.toProfile(contexts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/heap"
+	"chameleon/internal/rules"
+	"chameleon/internal/spec"
+)
+
+func buildSnapshot(t *testing.T) []*Profile {
+	t.Helper()
+	tab := alloctx.NewTable()
+	p := New()
+	ctx := tab.Static("wire.Factory:3;wire.Main:9")
+	for i := 0; i < 4; i++ {
+		in := p.OnAlloc(ctx, spec.KindHashMap, spec.KindHashMap, 16)
+		for j := 0; j <= i; j++ {
+			in.Record(spec.Put)
+			in.NoteSize(j + 1)
+		}
+		in.Record(spec.GetKey)
+		in.NoteEmptyIterator()
+		p.OnDeath(in)
+	}
+	p.ObserveCycle(&heap.CycleStats{PerContext: map[uint64]heap.ContextCycle{
+		ctx.Key(): {Footprint: heap.Footprint{Live: 5000, Used: 3000, Core: 1000}, Objects: 4},
+	}})
+	return p.Snapshot()
+}
+
+func TestProfilesJSONRoundTrip(t *testing.T) {
+	before := buildSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, before); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("profiles: %d != %d", len(after), len(before))
+	}
+	b, a := before[0], after[0]
+	if a.Context.String() != b.Context.String() {
+		t.Fatalf("context: %q != %q", a.Context.String(), b.Context.String())
+	}
+	if a.Declared != b.Declared || a.Impl != b.Impl || a.Allocs != b.Allocs {
+		t.Fatalf("identity fields differ")
+	}
+	for op := spec.Op(0); op < spec.NumOps; op++ {
+		if a.OpTotals[op] != b.OpTotals[op] {
+			t.Fatalf("op %v total: %d != %d", op, a.OpTotals[op], b.OpTotals[op])
+		}
+		if diff := a.OpMean[op] - b.OpMean[op]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("op %v mean differs", op)
+		}
+		if diff := a.OpStdDev[op] - b.OpStdDev[op]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("op %v stddev differs", op)
+		}
+	}
+	if a.MaxSizeAvg != b.MaxSizeAvg || a.MaxSizeStdDev != b.MaxSizeStdDev || a.MaxSizeMax != b.MaxSizeMax {
+		t.Fatalf("size stats differ")
+	}
+	if a.MaxHeap != b.MaxHeap || a.TotHeap != b.TotHeap {
+		t.Fatalf("heap stats differ")
+	}
+	if a.EmptyIterators != b.EmptyIterators || a.GCCycles != b.GCCycles {
+		t.Fatalf("aux stats differ")
+	}
+	if a.Potential() != b.Potential() {
+		t.Fatalf("potential differs")
+	}
+}
+
+// Deserialized profiles must drive the rule engine identically to live
+// ones — the offline workflow's correctness condition.
+func TestDeserializedProfilesDriveRules(t *testing.T) {
+	before := buildSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, before); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rules.EvalOptions{Params: rules.DefaultParams}
+	msLive, err := rules.Eval(rules.Builtin(), before[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msWire, err := rules.Eval(rules.Builtin(), after[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msLive) != len(msWire) {
+		t.Fatalf("rule matches differ: %d vs %d", len(msLive), len(msWire))
+	}
+	for i := range msLive {
+		if rules.PrintRule(msLive[i].Rule) != rules.PrintRule(msWire[i].Rule) ||
+			msLive[i].Capacity != msWire[i].Capacity {
+			t.Fatalf("match %d differs", i)
+		}
+	}
+}
+
+func TestReadProfilesRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfiles(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadProfiles(strings.NewReader(`[{"declared":"NoSuchKind","impl":"HashMap"}]`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadProfiles(strings.NewReader(`[{"declared":"HashMap","impl":"HashMap","ops":{"bogusOp":1}}]`)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// Snapshots of a deterministic program must serialize byte-identically —
+// the offline artifact is diffable and cacheable.
+func TestWriteProfilesDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteProfiles(&a, buildMultiSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfiles(&b, buildMultiSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("serialized snapshots differ across identical runs")
+	}
+	if !strings.Contains(a.String(), "wire.Factory") {
+		t.Fatal("content missing")
+	}
+}
+
+// buildMultiSnapshot builds a snapshot with several contexts so ordering
+// matters.
+func buildMultiSnapshot(t *testing.T) []*Profile {
+	t.Helper()
+	tab := alloctx.NewTable()
+	p := New()
+	for i, label := range []string{"wire.Factory:3;wire.Main:9", "wire.Other:5;wire.Main:2", "wire.Third:7;wire.Main:4"} {
+		ctx := tab.Static(label)
+		in := p.OnAlloc(ctx, spec.KindHashMap, spec.KindHashMap, 16)
+		in.Record(spec.Put)
+		in.NoteSize(1)
+		p.OnDeath(in)
+		p.ObserveCycle(&heap.CycleStats{PerContext: map[uint64]heap.ContextCycle{
+			ctx.Key(): {Footprint: heap.Footprint{Live: int64(1000 * (i + 1)), Used: 500}, Objects: 1},
+		}})
+	}
+	return p.Snapshot()
+}

@@ -1,0 +1,262 @@
+// Package profiler implements Chameleon's semantic collections profiler
+// (paper §3.2): per-instance usage records (ObjectContextInfo) that are
+// folded, when the instance dies or at snapshot time, into per-allocation-
+// context aggregates (ContextInfo) holding the full Table 1 statistics —
+// operation-count distributions with averages and standard deviations,
+// maximal-size distributions, initial capacities, and the heap statistics
+// (live/used/core, object counts) recorded by the collection-aware GC on
+// every cycle.
+package profiler
+
+import (
+	"sync"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+	"chameleon/internal/stats"
+)
+
+// Instance is the per-collection-object usage record — the paper's
+// ObjectContextInfo (§4.2). It is owned by a single collection wrapper and
+// is not synchronized; its contents are folded into the owning context when
+// the collection dies (the finalizer analogue) or when a snapshot is taken.
+type Instance struct {
+	p          *Profiler
+	info       *ContextInfo
+	ops        [spec.NumOps]int64
+	maxSize    int64
+	finalSize  int64
+	initialCap int64
+	emptyIters int64
+	slot       int
+	dead       bool
+}
+
+// Record counts one operation.
+func (in *Instance) Record(op spec.Op) {
+	if in == nil {
+		return
+	}
+	in.ops[op]++
+}
+
+// NoteSize records the collection's size after an operation, maintaining
+// the maximal-size and final-size trace statistics.
+func (in *Instance) NoteSize(n int) {
+	if in == nil {
+		return
+	}
+	s := int64(n)
+	if s > in.maxSize {
+		in.maxSize = s
+	}
+	in.finalSize = s
+}
+
+// NoteEmptyIterator records an iterator created over an empty collection
+// (the redundant-iterator rule of Table 2).
+func (in *Instance) NoteEmptyIterator() {
+	if in == nil {
+		return
+	}
+	in.emptyIters++
+}
+
+// ContextInfo aggregates all statistics for one allocation context — the
+// paper's ContextInfo object, combining library trace information with the
+// heap information the GC records per cycle.
+type ContextInfo struct {
+	ctx      *alloctx.Context
+	declared spec.Kind
+	impl     spec.Kind
+
+	allocs int64
+	deaths int64
+
+	opTotals [spec.NumOps]int64
+	opStats  [spec.NumOps]stats.Welford
+	maxSize  stats.Welford
+	finalSz  stats.Welford
+	initCap  stats.Welford
+	sizeHist *stats.Histogram
+
+	emptyIters int64
+
+	// Heap statistics recorded by the collection-aware GC.
+	totHeap  heap.Footprint
+	maxHeap  heap.Footprint
+	totObjs  int64
+	maxObjs  int64
+	gcCycles int64
+}
+
+func (ci *ContextInfo) fold(in *Instance) {
+	ci.deaths++
+	for op := spec.Op(0); op < spec.NumOps; op++ {
+		ci.opTotals[op] += in.ops[op]
+		ci.opStats[op].Add(float64(in.ops[op]))
+	}
+	ci.maxSize.Add(float64(in.maxSize))
+	ci.finalSz.Add(float64(in.finalSize))
+	ci.initCap.Add(float64(in.initialCap))
+	ci.sizeHist.Add(in.maxSize)
+	ci.emptyIters += in.emptyIters
+}
+
+func (ci *ContextInfo) clone() *ContextInfo {
+	cp := *ci
+	cp.sizeHist = stats.NewHistogram()
+	cp.sizeHist.Merge(ci.sizeHist)
+	return &cp
+}
+
+// Profiler is the semantic collections profiler. It owns the per-context
+// table and the live-instance registry, and implements heap.Observer so the
+// simulated collector can push per-cycle, per-context heap statistics into
+// it (paper §4.3.1).
+type Profiler struct {
+	mu       sync.Mutex
+	contexts map[uint64]*ContextInfo
+	live     []*Instance
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{contexts: make(map[uint64]*ContextInfo)}
+}
+
+func (p *Profiler) contextFor(ctx *alloctx.Context, declared, impl spec.Kind) *ContextInfo {
+	key := ctx.Key()
+	ci, ok := p.contexts[key]
+	if !ok {
+		ci = &ContextInfo{ctx: ctx, declared: declared, impl: impl, sizeHist: stats.NewHistogram()}
+		p.contexts[key] = ci
+	}
+	ci.impl = impl // reflect the most recent selection (online mode may change it)
+	return ci
+}
+
+// OnAlloc registers a new collection instance allocated at ctx, declared as
+// the given kind, and actually implemented by impl with the given initial
+// capacity. The returned Instance must be passed to OnDeath when the
+// collection becomes unreachable.
+func (p *Profiler) OnAlloc(ctx *alloctx.Context, declared, impl spec.Kind, initialCap int) *Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ci := p.contextFor(ctx, declared, impl)
+	ci.allocs++
+	in := &Instance{p: p, info: ci, initialCap: int64(initialCap), slot: len(p.live)}
+	p.live = append(p.live, in)
+	return in
+}
+
+// OnDeath folds the instance's usage record into its context. Calling it
+// twice is a no-op (mirroring finalizers running at most once).
+func (p *Profiler) OnDeath(in *Instance) {
+	if in == nil || in.dead {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if in.dead {
+		return
+	}
+	in.dead = true
+	last := len(p.live) - 1
+	moved := p.live[last]
+	p.live[in.slot] = moved
+	moved.slot = in.slot
+	p.live = p.live[:last]
+	in.info.fold(in)
+}
+
+// ObserveCycle implements heap.Observer: it records the per-context heap
+// footprints of one GC cycle into each context's aggregates (the Total/Max
+// heap columns of Table 1).
+func (p *Profiler) ObserveCycle(c *heap.CycleStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, cc := range c.PerContext {
+		ci, ok := p.contexts[key]
+		if !ok {
+			// Heap-tracked collection without trace tracking (e.g. a
+			// custom collection profiled only through its semantic map).
+			ci = &ContextInfo{sizeHist: stats.NewHistogram()}
+			p.contexts[key] = ci
+		}
+		ci.gcCycles++
+		ci.totHeap = ci.totHeap.Add(cc.Footprint)
+		if cc.Footprint.Live > ci.maxHeap.Live {
+			ci.maxHeap.Live = cc.Footprint.Live
+		}
+		if cc.Footprint.Used > ci.maxHeap.Used {
+			ci.maxHeap.Used = cc.Footprint.Used
+		}
+		if cc.Footprint.Core > ci.maxHeap.Core {
+			ci.maxHeap.Core = cc.Footprint.Core
+		}
+		ci.totObjs += cc.Objects
+		if cc.Objects > ci.maxObjs {
+			ci.maxObjs = cc.Objects
+		}
+	}
+}
+
+// LiveInstances reports the number of collections currently tracked.
+func (p *Profiler) LiveInstances() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.live)
+}
+
+// Contexts reports the number of distinct allocation contexts observed.
+func (p *Profiler) Contexts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.contexts)
+}
+
+// Snapshot finalizes a view of every context: live instances are folded
+// into copies, so the snapshot reflects complete information (as if the
+// program had ended, §3.3.2) without perturbing ongoing profiling.
+func (p *Profiler) Snapshot() []*Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	liveCount := make(map[*ContextInfo]int64, len(p.contexts))
+	copies := make(map[*ContextInfo]*ContextInfo, len(p.contexts))
+	for _, ci := range p.contexts {
+		copies[ci] = ci.clone()
+	}
+	for _, in := range p.live {
+		copies[in.info].fold(in)
+		liveCount[in.info]++
+	}
+	out := make([]*Profile, 0, len(copies))
+	for orig, cp := range copies {
+		out = append(out, newProfile(cp, liveCount[orig]))
+	}
+	return out
+}
+
+// SnapshotContext finalizes a view of a single context by key, folding in
+// its live instances, or returns nil when the context is unknown. The
+// online selector uses this to decide one context without paying for a
+// whole-profiler snapshot on the allocation path.
+func (p *Profiler) SnapshotContext(key uint64) *Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ci, ok := p.contexts[key]
+	if !ok {
+		return nil
+	}
+	cp := ci.clone()
+	var live int64
+	for _, in := range p.live {
+		if in.info == ci {
+			cp.fold(in)
+			live++
+		}
+	}
+	return newProfile(cp, live)
+}

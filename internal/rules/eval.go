@@ -1,0 +1,220 @@
+package rules
+
+import (
+	"math"
+
+	"chameleon/internal/spec"
+)
+
+// Profile is the evaluator's view of one allocation context's statistics.
+// profiler.Profile implements it.
+type Profile interface {
+	// OpMeanByName resolves "#name" (per-instance average count).
+	OpMeanByName(name string) (float64, bool)
+	// OpStdDevByName resolves "@name" (per-instance count std deviation).
+	OpStdDevByName(name string) (float64, bool)
+	// Metric resolves a tracedata/heapdata name.
+	Metric(name string) (float64, bool)
+	// Stability reports the metric's standard deviation for stability
+	// gating (0 when the metric carries no tracked variance).
+	Stability(name string) float64
+	// SrcKind reports the kind used for srcType matching.
+	SrcKind() spec.Kind
+}
+
+// Params binds the named tuning constants of a rule set (the X, Y
+// thresholds of Table 2 — "the constants used in the rules are not shown,
+// as they may be tuned per specific environment").
+type Params map[string]float64
+
+// EvalOptions tune rule evaluation.
+type EvalOptions struct {
+	// Params binds rule parameters.
+	Params Params
+	// MaxSizeStdDev is the stability threshold for size metrics
+	// (Definition 3.1): a rule whose condition reads size/maxSize only
+	// fires when the context's maximal-size standard deviation is at most
+	// this value. The paper requires "size values to be tight, while
+	// operation counts are not restricted" (§3.3.1). Zero means the
+	// default of 8; negative disables stability gating.
+	MaxSizeStdDev float64
+}
+
+// DefaultMaxSizeStdDev is the default size-stability threshold.
+const DefaultMaxSizeStdDev = 8.0
+
+func (o EvalOptions) sizeThreshold() float64 {
+	switch {
+	case o.MaxSizeStdDev < 0:
+		return math.Inf(1)
+	case o.MaxSizeStdDev == 0:
+		return DefaultMaxSizeStdDev
+	default:
+		return o.MaxSizeStdDev
+	}
+}
+
+// Match is one rule that fired for a profile.
+type Match struct {
+	Rule *Rule
+	// Capacity is the resolved capacity suggestion (0 when the rule
+	// carries none).
+	Capacity int64
+}
+
+// EvalRule evaluates one rule against a profile. It reports whether the
+// rule fires, applying srcType matching and stability gating before the
+// condition.
+func EvalRule(r *Rule, p Profile, opts EvalOptions) (Match, bool, error) {
+	if !p.SrcKind().Matches(r.Src) {
+		return Match{}, false, nil
+	}
+	// Stability gating: every size metric the condition reads must be
+	// stable in this context — unless the rule checks that metric's
+	// stability explicitly with stable(m), in which case the rule's own
+	// condition governs (§3.3.1).
+	thr := opts.sizeThreshold()
+	explicit := ExplicitStables(r)
+	for _, m := range MetricsOf(r) {
+		if explicit[m] {
+			continue
+		}
+		if p.Stability(m) > thr {
+			return Match{}, false, nil
+		}
+	}
+	ok, err := evalCond(r.Cond, p, opts.Params)
+	if err != nil || !ok {
+		return Match{}, false, err
+	}
+	m := Match{Rule: r}
+	if r.Act.Capacity.Present {
+		if r.Act.Capacity.FromMaxSize {
+			if v, found := p.Metric("maxSize"); found {
+				m.Capacity = int64(math.Ceil(v))
+			}
+		} else {
+			m.Capacity = r.Act.Capacity.Value
+		}
+	}
+	return m, true, nil
+}
+
+// Eval evaluates a rule set in order against a profile and returns every
+// match; earlier matches carry higher priority.
+func Eval(rs *RuleSet, p Profile, opts EvalOptions) ([]Match, error) {
+	var out []Match
+	for _, r := range rs.Rules {
+		m, ok, err := EvalRule(r, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+func evalCond(c Cond, p Profile, params Params) (bool, error) {
+	switch c := c.(type) {
+	case *Comparison:
+		l, err := evalExpr(c.L, p, params)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalExpr(c.R, p, params)
+		if err != nil {
+			return false, err
+		}
+		const eps = 1e-9
+		switch c.Op {
+		case "==":
+			return math.Abs(l-r) <= eps, nil
+		case "!=":
+			return math.Abs(l-r) > eps, nil
+		case "<":
+			return l < r, nil
+		case "<=":
+			return l <= r+eps, nil
+		case ">":
+			return l > r, nil
+		case ">=":
+			return l+eps >= r, nil
+		}
+		return false, errf(c.At, "unknown comparison operator %q", c.Op)
+	case *AndCond:
+		l, err := evalCond(c.L, p, params)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalCond(c.R, p, params)
+	case *OrCond:
+		l, err := evalCond(c.L, p, params)
+		if err != nil || l {
+			return l, err
+		}
+		return evalCond(c.R, p, params)
+	case *NotCond:
+		v, err := evalCond(c.C, p, params)
+		return !v, err
+	}
+	return false, errf(c.Pos(), "unknown condition node")
+}
+
+func evalExpr(e Expr, p Profile, params Params) (float64, error) {
+	switch e := e.(type) {
+	case *NumberLit:
+		return e.Value, nil
+	case *OpCount:
+		v, ok := p.OpMeanByName(e.Name)
+		if !ok {
+			return 0, errf(e.At, "unknown operation %q", e.Name)
+		}
+		return v, nil
+	case *OpVar:
+		v, ok := p.OpStdDevByName(e.Name)
+		if !ok {
+			return 0, errf(e.At, "unknown operation %q", e.Name)
+		}
+		return v, nil
+	case *MetricRef:
+		v, ok := p.Metric(e.Name)
+		if !ok {
+			return 0, errf(e.At, "unknown metric %q", e.Name)
+		}
+		return v, nil
+	case *ParamRef:
+		v, ok := params[e.Name]
+		if !ok {
+			return 0, errf(e.At, "unbound parameter %q", e.Name)
+		}
+		return v, nil
+	case *StableRef:
+		return p.Stability(e.Name), nil
+	case *BinaryExpr:
+		l, err := evalExpr(e.L, p, params)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalExpr(e.R, p, params)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, nil // guarded ratio: x/0 is 0, like stats.Ratio
+			}
+			return l / r, nil
+		}
+		return 0, errf(e.At, "unknown operator %q", e.Op)
+	}
+	return 0, errf(e.Pos(), "unknown expression node")
+}

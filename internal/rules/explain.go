@@ -1,0 +1,149 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explanation is a trace of one rule evaluated against one profile: which
+// gate stopped it, or which comparisons made it fire, with every operand's
+// concrete value. It answers the tool-user's question "why (wasn't) my
+// context replaced?".
+type Explanation struct {
+	Rule *Rule
+	// Fired reports whether the rule matched.
+	Fired bool
+	// SrcMatched reports whether the srcType pattern matched the
+	// context's declared kind.
+	SrcMatched bool
+	// StabilityBlocked lists metrics whose implicit stability gate
+	// (Definition 3.1) stopped the rule before its condition ran.
+	StabilityBlocked []string
+	// Steps are the comparisons evaluated, in evaluation order
+	// (short-circuited comparisons are absent).
+	Steps []Step
+	// Capacity is the resolved capacity when the rule fired.
+	Capacity int64
+	// Err is set when evaluation failed (e.g. unbound parameter).
+	Err error
+}
+
+// Step is one evaluated comparison.
+type Step struct {
+	// Text is the comparison in concrete syntax.
+	Text string
+	// Left and Right are the evaluated operand values.
+	Left, Right float64
+	// Result is the comparison's outcome.
+	Result bool
+}
+
+// Explain evaluates a rule against a profile, recording a step trace.
+func Explain(r *Rule, p Profile, opts EvalOptions) Explanation {
+	ex := Explanation{Rule: r}
+	ex.SrcMatched = p.SrcKind().Matches(r.Src)
+	if !ex.SrcMatched {
+		return ex
+	}
+	thr := opts.sizeThreshold()
+	explicit := ExplicitStables(r)
+	for _, m := range MetricsOf(r) {
+		if explicit[m] {
+			continue
+		}
+		if p.Stability(m) > thr {
+			ex.StabilityBlocked = append(ex.StabilityBlocked, m)
+		}
+	}
+	if len(ex.StabilityBlocked) > 0 {
+		return ex
+	}
+	fired, err := explainCond(r.Cond, p, opts.Params, &ex)
+	if err != nil {
+		ex.Err = err
+		return ex
+	}
+	ex.Fired = fired
+	if fired && r.Act.Capacity.Present {
+		if r.Act.Capacity.FromMaxSize {
+			if v, ok := p.Metric("maxSize"); ok {
+				ex.Capacity = int64(v + 0.999999)
+			}
+		} else {
+			ex.Capacity = r.Act.Capacity.Value
+		}
+	}
+	return ex
+}
+
+func explainCond(c Cond, p Profile, params Params, ex *Explanation) (bool, error) {
+	switch c := c.(type) {
+	case *Comparison:
+		l, err := evalExpr(c.L, p, params)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalExpr(c.R, p, params)
+		if err != nil {
+			return false, err
+		}
+		res, err := evalCond(c, p, params)
+		if err != nil {
+			return false, err
+		}
+		ex.Steps = append(ex.Steps, Step{
+			Text:   printCond(c, false),
+			Left:   l,
+			Right:  r,
+			Result: res,
+		})
+		return res, nil
+	case *AndCond:
+		l, err := explainCond(c.L, p, params, ex)
+		if err != nil || !l {
+			return false, err
+		}
+		return explainCond(c.R, p, params, ex)
+	case *OrCond:
+		l, err := explainCond(c.L, p, params, ex)
+		if err != nil || l {
+			return l, err
+		}
+		return explainCond(c.R, p, params, ex)
+	case *NotCond:
+		v, err := explainCond(c.C, p, params, ex)
+		return !v, err
+	}
+	return false, errf(c.Pos(), "unknown condition node")
+}
+
+// String renders the explanation.
+func (ex Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule: %s\n", PrintRule(ex.Rule))
+	switch {
+	case !ex.SrcMatched:
+		fmt.Fprintf(&b, "  srcType %s does not match the context's declared kind\n", ex.Rule.Src)
+		return b.String()
+	case len(ex.StabilityBlocked) > 0:
+		fmt.Fprintf(&b, "  blocked by the implicit stability gate on: %s\n",
+			strings.Join(ex.StabilityBlocked, ", "))
+		return b.String()
+	case ex.Err != nil:
+		fmt.Fprintf(&b, "  evaluation error: %v\n", ex.Err)
+		return b.String()
+	}
+	for _, s := range ex.Steps {
+		fmt.Fprintf(&b, "  %-45s %10.2f vs %-10.2f %v\n", s.Text, s.Left, s.Right, s.Result)
+	}
+	if ex.Fired {
+		if ex.Capacity > 0 {
+			fmt.Fprintf(&b, "  => fires (capacity %d)\n", ex.Capacity)
+		} else {
+			fmt.Fprintf(&b, "  => fires\n")
+		}
+	} else {
+		fmt.Fprintf(&b, "  => does not fire\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package rules
+
+import (
+	"testing"
+
+	"chameleon/internal/spec"
+)
+
+func TestStableSyntaxParsesAndPrints(t *testing.T) {
+	r := mustParseRule(t, "HashMap : maxSize >= 16 && stable(maxSize) < 4 -> OpenHashMap")
+	printed := PrintRule(r)
+	r2, err := ParseRule(printed)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if PrintRule(r2) != printed {
+		t.Fatalf("round trip unstable: %q vs %q", printed, PrintRule(r2))
+	}
+	and := r.Cond.(*AndCond)
+	cmp := and.R.(*Comparison)
+	sr, ok := cmp.L.(*StableRef)
+	if !ok || sr.Name != "maxSize" {
+		t.Fatalf("stable ref not parsed: %#v", cmp.L)
+	}
+}
+
+func TestStableIsNotAKeyword(t *testing.T) {
+	// "stable" without parentheses is an ordinary parameter name.
+	r := mustParseRule(t, "HashMap : maxSize > stable -> ArrayMap")
+	cmp := r.Cond.(*Comparison)
+	if _, ok := cmp.R.(*ParamRef); !ok {
+		t.Fatalf("bare 'stable' should be a ParamRef, got %#v", cmp.R)
+	}
+}
+
+func TestStableCheck(t *testing.T) {
+	rs, err := Parse("HashMap : stable(notAMetric) < 1 -> ArrayMap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(rs, DefaultParams); len(errs) == 0 {
+		t.Fatal("stable() over unknown metric not caught")
+	}
+}
+
+func TestExplicitStableOverridesImplicitGate(t *testing.T) {
+	p := &fakeProfile{
+		kind:      spec.KindHashMap,
+		opMeans:   map[string]float64{"put": 40},
+		metrics:   map[string]float64{"maxSize": 40},
+		stability: map[string]float64{"maxSize": 30}, // wildly unstable
+	}
+	// Implicit gate blocks a size-conditioned rule...
+	blocked := mustParseRule(t, "HashMap : maxSize > 10 -> OpenHashMap")
+	if _, ok, _ := EvalRule(blocked, p, EvalOptions{}); ok {
+		t.Fatal("implicit gate should block")
+	}
+	// ...but a rule that checks stability explicitly governs itself.
+	explicit := mustParseRule(t, "HashMap : maxSize > 10 && stable(maxSize) < 50 -> OpenHashMap")
+	if _, ok, _ := EvalRule(explicit, p, EvalOptions{}); !ok {
+		t.Fatal("explicit stable() should bypass the implicit gate")
+	}
+	strict := mustParseRule(t, "HashMap : maxSize > 10 && stable(maxSize) < 5 -> OpenHashMap")
+	if _, ok, _ := EvalRule(strict, p, EvalOptions{}); ok {
+		t.Fatal("explicit stable() bound should still be enforced by the condition")
+	}
+}
+
+func TestExplicitStables(t *testing.T) {
+	r := mustParseRule(t, "HashMap : stable(maxSize) < 2 && stable(size) < 3 && maxSize > 1 -> ArrayMap")
+	got := ExplicitStables(r)
+	if !got["maxSize"] || !got["size"] || len(got) != 2 {
+		t.Fatalf("explicit stables = %v", got)
+	}
+}
+
+func TestExtendedRuleSet(t *testing.T) {
+	ext := Extended()
+	if len(ext.Rules) <= len(Builtin().Rules) {
+		t.Fatal("extended set not larger than builtin")
+	}
+
+	// A large stable HashMap with no containsValue: OpenHashMap fires.
+	bigMap := &fakeProfile{
+		kind:    spec.KindHashMap,
+		opMeans: map[string]float64{"put": 64, "get(Object)": 500},
+		metrics: map[string]float64{"maxSize": 64, "initialCapacity": 64},
+	}
+	ms, err := Eval(ext, bigMap, EvalOptions{Params: DefaultParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawOpen bool
+	for _, m := range ms {
+		if m.Rule.Act.Impl == spec.KindOpenHashMap {
+			sawOpen = true
+			if m.Capacity != 64 {
+				t.Fatalf("open map capacity = %d", m.Capacity)
+			}
+		}
+	}
+	if !sawOpen {
+		t.Fatalf("OpenHashMap rule did not fire: %v", ms)
+	}
+
+	// A forward-only LinkedList: SinglyLinkedList fires.
+	fwdList := &fakeProfile{
+		kind:    spec.KindLinkedList,
+		opMeans: map[string]float64{"add": 20, "iterator": 5},
+		metrics: map[string]float64{"maxSize": 20},
+	}
+	ms2, err := Eval(ext, fwdList, EvalOptions{Params: DefaultParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSLL bool
+	for _, m := range ms2 {
+		if m.Rule.Act.Impl == spec.KindSinglyLinkedList {
+			sawSLL = true
+		}
+	}
+	if !sawSLL {
+		t.Fatalf("SinglyLinkedList rule did not fire: %v", ms2)
+	}
+
+	// The same list with listIterator use must NOT be suggested a
+	// singly-linked implementation (§5.4's whole point).
+	backList := &fakeProfile{
+		kind:    spec.KindLinkedList,
+		opMeans: map[string]float64{"add": 20, "listIterator": 2},
+		metrics: map[string]float64{"maxSize": 20},
+	}
+	ms3, _ := Eval(ext, backList, EvalOptions{Params: DefaultParams})
+	for _, m := range ms3 {
+		if m.Rule.Act.Impl == spec.KindSinglyLinkedList {
+			t.Fatal("SinglyLinkedList suggested despite listIterator use")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package rules
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes rule text. Comments run from "//" to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		seenDot := false
+		for lx.off < len(lx.src) {
+			c := lx.peek()
+			if c == '.' && !seenDot && lx.off+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.off+1])) {
+				seenDot = true
+				b.WriteByte(lx.advance())
+				continue
+			}
+			if !unicode.IsDigit(rune(c)) {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tokNumber, text: b.String(), pos: pos}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return token{}, errf(pos, "unterminated string literal")
+			}
+			c := lx.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && lx.off < len(lx.src) {
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return token{}, errf(pos, "unknown escape \\%c in string", esc)
+				}
+				continue
+			}
+			b.WriteByte(c)
+		}
+		return token{kind: tokString, text: b.String(), pos: pos}, nil
+	}
+	lx.advance()
+	two := func(next byte, k2 tokenKind, k1 tokenKind) (token, error) {
+		if lx.peek() == next {
+			lx.advance()
+			return token{kind: k2, pos: pos}, nil
+		}
+		if k1 == tokEOF {
+			return token{}, errf(pos, "unexpected character %q", string(c))
+		}
+		return token{kind: k1, pos: pos}, nil
+	}
+	switch c {
+	case '#':
+		return token{kind: tokHash, pos: pos}, nil
+	case '@':
+		return token{kind: tokAt, pos: pos}, nil
+	case ':':
+		return token{kind: tokColon, pos: pos}, nil
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, pos: pos}, nil
+	case '-':
+		return two('>', tokArrow, tokMinus)
+	case '*':
+		return token{kind: tokStar, pos: pos}, nil
+	case '/':
+		return token{kind: tokSlash, pos: pos}, nil
+	case '&':
+		return two('&', tokAndAnd, tokEOF)
+	case '|':
+		return two('|', tokOrOr, tokEOF)
+	case '=':
+		return two('=', tokEq, tokEOF)
+	case '!':
+		return two('=', tokNeq, tokNot)
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '>':
+		return two('=', tokGe, tokGt)
+	}
+	return token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input (for the parser's lookahead buffer).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

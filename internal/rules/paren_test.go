@@ -1,0 +1,24 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeepParensFast(t *testing.T) {
+	src := "Collection : " + strings.Repeat("(", 40) + "#add > 1" + strings.Repeat(")", 40) + " -> avoid"
+	start := time.Now()
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deep parens took %v (exponential backtracking?)", d)
+	}
+	bad := "Collection : " + strings.Repeat("(", 40)
+	start = time.Now()
+	Parse(bad)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("unclosed deep parens took %v", d)
+	}
+}

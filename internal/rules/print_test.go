@@ -1,0 +1,172 @@
+package rules
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chameleon/internal/spec"
+)
+
+func TestPrintRuleConcrete(t *testing.T) {
+	cases := []string{
+		`ArrayList : #contains > X && maxSize > Y -> LinkedHashSet`,
+		`LinkedList : #get(int) > X -> ArrayList`,
+		`HashMap : maxSize < Z && maxSize > 0 -> ArrayMap(maxSize)`,
+		`Collection : #allOps == 0 -> avoid "Space/Time: redundant collection - avoid allocation"`,
+		`Collection : maxSize > initialCapacity -> setCapacity(maxSize)`,
+		`Collection : emptyIterators > E -> removeIterator`,
+		`ArrayList : #add > 1 -> ArrayList(64)`,
+	}
+	for _, src := range cases {
+		r := mustParseRule(t, src)
+		printed := PrintRule(r)
+		r2, err := ParseRule(printed)
+		if err != nil {
+			t.Errorf("printed form does not re-parse: %q: %v", printed, err)
+			continue
+		}
+		if PrintRule(r2) != printed {
+			t.Errorf("print not idempotent:\n  1: %q\n  2: %q", printed, PrintRule(r2))
+		}
+	}
+}
+
+func TestPrintPreservesPrecedence(t *testing.T) {
+	cases := []string{
+		"LinkedList : (#addAt + #removeAt) * 2 < X -> ArrayList",
+		"LinkedList : #addAt - (#removeAt - 1) < X -> ArrayList",
+		"LinkedList : #addAt / (#removeAt / 2) < X -> ArrayList",
+		"Collection : (#add > 1 || #remove > 1) && maxSize > 0 -> avoid",
+		"Collection : !(#add > 1 && #remove > 1) -> avoid",
+	}
+	for _, src := range cases {
+		r := mustParseRule(t, src)
+		printed := PrintRule(r)
+		r2, err := ParseRule(printed)
+		if err != nil {
+			t.Fatalf("%q -> %q does not re-parse: %v", src, printed, err)
+		}
+		if got := PrintRule(r2); got != printed {
+			t.Errorf("round-trip changed structure:\n  src: %q\n  p1:  %q\n  p2:  %q", src, printed, got)
+		}
+	}
+}
+
+// randomRule builds a random AST directly, exercising shapes the hand
+// cases miss.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &NumberLit{Value: float64(rng.Intn(100))}
+		case 1:
+			ops := []string{"add", "get(int)", "get(Object)", "contains", "removeFirst", "copied", "allOps"}
+			return &OpCount{Name: ops[rng.Intn(len(ops))]}
+		case 2:
+			ops := []string{"add", "remove", "put"}
+			return &OpVar{Name: ops[rng.Intn(len(ops))]}
+		case 3:
+			if rng.Intn(3) == 0 {
+				ms := []string{"size", "maxSize"}
+				return &StableRef{Name: ms[rng.Intn(len(ms))]}
+			}
+			ms := []string{"size", "maxSize", "initialCapacity", "maxLive", "totUsed", "potential"}
+			return &MetricRef{Name: ms[rng.Intn(len(ms))]}
+		default:
+			ps := []string{"X", "Y", "Z", "E", "W"}
+			return &ParamRef{Name: ps[rng.Intn(len(ps))]}
+		}
+	}
+	ops := []string{"+", "-", "*", "/"}
+	return &BinaryExpr{
+		Op: ops[rng.Intn(len(ops))],
+		L:  randomExpr(rng, depth-1),
+		R:  randomExpr(rng, depth-1),
+	}
+}
+
+func randomCond(rng *rand.Rand, depth int) Cond {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		ops := []string{"==", "!=", "<", "<=", ">", ">="}
+		return &Comparison{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randomExpr(rng, 2),
+			R:  randomExpr(rng, 2),
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &AndCond{L: randomCond(rng, depth-1), R: randomCond(rng, depth-1)}
+	case 1:
+		return &OrCond{L: randomCond(rng, depth-1), R: randomCond(rng, depth-1)}
+	default:
+		return &NotCond{C: randomCond(rng, depth-1)}
+	}
+}
+
+func randomRule(rng *rand.Rand) *Rule {
+	srcs := []spec.Kind{
+		spec.KindCollection, spec.KindList, spec.KindArrayList,
+		spec.KindLinkedList, spec.KindHashMap, spec.KindHashSet,
+	}
+	r := &Rule{
+		Src:  srcs[rng.Intn(len(srcs))],
+		Cond: randomCond(rng, 3),
+	}
+	switch rng.Intn(5) {
+	case 0:
+		r.Act = Action{Kind: ActAvoid}
+	case 1:
+		r.Act = Action{Kind: ActEliminateCopies}
+	case 2:
+		r.Act = Action{Kind: ActSetCapacity, Capacity: CapSpec{Present: true, FromMaxSize: true}}
+	case 3:
+		r.Act = Action{Kind: ActReplace, Impl: spec.KindArrayMap,
+			Capacity: CapSpec{Present: true, Value: int64(rng.Intn(100))}}
+	default:
+		impls := []spec.Kind{spec.KindArrayList, spec.KindLazyArrayList, spec.KindArraySet, spec.KindLinkedHashSet}
+		r.Act = Action{Kind: ActReplace, Impl: impls[rng.Intn(len(impls))]}
+	}
+	if rng.Intn(2) == 0 {
+		msgs := []string{"Space: m", "Time: m", "Space/Time: m", `with "quotes" and \ slashes`}
+		r.Message = msgs[rng.Intn(len(msgs))]
+	}
+	return r
+}
+
+// Property: for randomly generated ASTs, print -> parse -> print is a
+// fixed point (the printer emits valid, structure-preserving syntax).
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		r := randomRule(rng)
+		printed := PrintRule(r)
+		r2, err := ParseRule(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: printed rule does not parse:\n  %q\n  %v", i, printed, err)
+		}
+		printed2 := PrintRule(r2)
+		if printed2 != printed {
+			t.Fatalf("iteration %d: round trip not stable:\n  1: %q\n  2: %q", i, printed, printed2)
+		}
+	}
+}
+
+func TestPrintRuleSet(t *testing.T) {
+	rs := Builtin()
+	text := Print(rs)
+	if strings.Count(text, "\n") != len(rs.Rules) {
+		t.Fatalf("printed %d lines for %d rules", strings.Count(text, "\n"), len(rs.Rules))
+	}
+	rs2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("printed builtin set does not re-parse: %v", err)
+	}
+	if len(rs2.Rules) != len(rs.Rules) {
+		t.Fatalf("rule count changed: %d -> %d", len(rs.Rules), len(rs2.Rules))
+	}
+	if Print(rs2) != text {
+		t.Fatal("builtin round trip not stable")
+	}
+}

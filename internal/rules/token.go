@@ -1,0 +1,113 @@
+// Package rules implements Chameleon's implementation-selection language
+// (paper Fig. 4): a small rule DSL evaluated over the per-context profiling
+// statistics of Table 1. A rule has the shape
+//
+//	srcType : cond -> action ["message"]
+//
+// where cond is a boolean combination of comparisons over operation counts
+// (#add, #get(int), ...), operation-count variances (@add, ...), trace data
+// (size, maxSize, initialCapacity), heap data (maxLive, totLive, maxUsed,
+// totUsed, maxCore, totCore, ...) and named tuning parameters (X, Y, ...),
+// and action is a replacement implementation type — optionally with a
+// capacity, e.g. "ArrayList(maxSize)" — or one of the advisory fixes of
+// Table 2 (setCapacity, avoid, eliminateCopies, removeIterator).
+//
+// The package provides the full little-language toolchain: lexer, parser,
+// AST, static checker, evaluator, and a pretty-printer whose output
+// re-parses to the same AST.
+package rules
+
+import "fmt"
+
+// Pos is a source position within rule text.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokHash   // #
+	tokAt     // @
+	tokColon  // :
+	tokArrow  // ->
+	tokLParen // (
+	tokRParen // )
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokNot    // !
+	tokEq     // ==
+	tokNeq    // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+	tokComma  // ,
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF:    "end of input",
+	tokIdent:  "identifier",
+	tokNumber: "number",
+	tokString: "string",
+	tokHash:   "'#'",
+	tokAt:     "'@'",
+	tokColon:  "':'",
+	tokArrow:  "'->'",
+	tokLParen: "'('",
+	tokRParen: "')'",
+	tokAndAnd: "'&&'",
+	tokOrOr:   "'||'",
+	tokNot:    "'!'",
+	tokEq:     "'=='",
+	tokNeq:    "'!='",
+	tokLt:     "'<'",
+	tokLe:     "'<='",
+	tokGt:     "'>'",
+	tokGe:     "'>='",
+	tokPlus:   "'+'",
+	tokMinus:  "'-'",
+	tokStar:   "'*'",
+	tokSlash:  "'/'",
+	tokComma:  "','",
+}
+
+func (k tokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+// Error is a positioned rule-language error (lex, parse, check or eval).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("rules: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+// bloat (paper §5.3, Fig. 8): the benchmark's footprint is dominated by a
+// spike of collections — LinkedLists allocated at one context that mostly
+// remain empty and are never used; around a quarter of the heap at the
+// spike is LinkedList$Entry objects serving as the heads of empty lists.
+// The fix: make the allocation itself lazy (allocate no list until an
+// element actually arrives), with LazyArrayList as the in-library variant
+// — reducing the minimal heap by 56% in the paper.
+
+// bloatNode is one IR node; its def-use list is usually empty.
+type bloatNode struct {
+	uses *collections.List[int] // nil in the tuned variant until needed
+	data interface{ Free() }
+}
+
+const (
+	// bloatEmptyPermille is how many of 1000 nodes keep an empty list.
+	bloatEmptyPermille = 900
+	// bloatWave is the number of IR nodes per method.
+	bloatWave = 64
+)
+
+func bloatCtx() collections.Option {
+	return collections.At("EDU.purdue.cs.bloat.tree.Node:40;EDU.purdue.cs.bloat.tree.Tree:215")
+}
+
+// RunBloat builds IR for a sequence of methods. The live set ramps up to a
+// mid-run spike (an inlining super-method holding many methods' IR at
+// once) and then falls back — reproducing the Fig. 8 shape. Scale is the
+// number of methods.
+func RunBloat(rt *collections.Runtime, v Variant, scale int) uint64 {
+	rng := newRand(7)
+	var checksum uint64
+	h := rt.Heap()
+
+	// Long-lived non-collection data: the loaded class files and constant
+	// pools the optimizer works on. Against this stable background, the
+	// mid-run wave of IR makes the collections' share of live data spike —
+	// the Fig. 8 shape.
+	var background []interface{ Free() }
+	if h != nil {
+		for i := 0; i < 16; i++ {
+			background = append(background, h.AllocData(4096))
+		}
+		defer func() {
+			for _, d := range background {
+				d.Free()
+			}
+		}()
+	}
+
+	newNode := func() *bloatNode {
+		n := &bloatNode{}
+		if h != nil {
+			n.data = h.AllocData(24)
+		}
+		empty := rng.intn(1000) < bloatEmptyPermille
+		switch {
+		case v == Baseline:
+			// Original program: every node eagerly allocates its list.
+			n.uses = collections.NewLinkedList[int](rt, bloatCtx())
+		case !empty:
+			// Tuned: allocate only when uses actually arrive, and use a
+			// LazyArrayList rather than a LinkedList.
+			n.uses = collections.NewLinkedList[int](rt, bloatCtx(),
+				collections.Impl(spec.KindLazyArrayList))
+		}
+		if !empty {
+			for k := 0; k < 1+rng.intn(3); k++ {
+				n.uses.Add(rng.intn(1000))
+			}
+		}
+		return n
+	}
+
+	freeNode := func(n *bloatNode) {
+		if n.uses != nil {
+			n.uses.Free()
+		}
+		if n.data != nil {
+			n.data.Free()
+		}
+	}
+
+	fold := func(n *bloatNode) {
+		if n.uses == nil {
+			return
+		}
+		n.uses.Each(func(u int) bool {
+			checksum = mix(checksum, uint64(u))
+			return true
+		})
+	}
+
+	// analyze is the optimizer's non-collection work per method (dataflow
+	// bit-twiddling); it keeps the collection cost from being the whole
+	// run time, as in the real benchmark.
+	analyze := func(method []*bloatNode) {
+		acc := checksum | 1
+		for range method {
+			for k := 0; k < 96; k++ {
+				acc = mix(acc, acc>>7)
+			}
+		}
+		checksum = mix(checksum, acc)
+	}
+
+	var live [][]*bloatNode
+	// Phase profile: the number of methods whose IR is simultaneously
+	// live; peaks sharply in the middle (the paper's spike at GC#656).
+	holdAt := func(step int) int {
+		mid := scale / 2
+		d := step - mid
+		if d < 0 {
+			d = -d
+		}
+		span := scale / 8
+		if span == 0 {
+			span = 1
+		}
+		if d < span {
+			return 40 // the spike
+		}
+		return 6
+	}
+
+	for step := 0; step < scale; step++ {
+		method := make([]*bloatNode, bloatWave)
+		for i := range method {
+			method[i] = newNode()
+		}
+		for _, n := range method {
+			fold(n)
+		}
+		analyze(method)
+		live = append(live, method)
+		for len(live) > holdAt(step) {
+			for _, n := range live[0] {
+				freeNode(n)
+			}
+			live = live[1:]
+		}
+	}
+	for _, m := range live {
+		for _, n := range m {
+			freeNode(n)
+		}
+	}
+	return checksum
+}

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+// FindBugs (paper §5.3): a bug-pattern detector analyzing class files. Per
+// analyzed class it allocates small HashMaps (field -> fact) and HashSets
+// (reported warnings); a large percentage of both remain empty because
+// most classes trigger no warnings. The paper's fixes — HashMap->ArrayMap,
+// HashSet->ArraySet, lazy allocation for mostly-empty contexts, and tuned
+// initial sizes — reduce the minimal heap by 13.79%.
+
+func fbFactsCtx() collections.Option {
+	return collections.At("edu.umd.cs.findbugs.ba.FactMap:55;edu.umd.cs.findbugs.Detector:91")
+}
+
+func fbWarnCtx() collections.Option {
+	return collections.At("edu.umd.cs.findbugs.BugAccumulator:33;edu.umd.cs.findbugs.Detector:120")
+}
+
+type fbClass struct {
+	facts    *collections.Map[int, int]
+	warnings *collections.Set[int]
+	code     interface{ Free() }
+}
+
+// RunFindBugs analyzes scale*16 classes, holding a window of classes live
+// (whole-program facts kept for cross-class analysis).
+func RunFindBugs(rt *collections.Runtime, v Variant, scale int) uint64 {
+	rng := newRand(99)
+	var checksum uint64
+	h := rt.Heap()
+
+	analyze := func() *fbClass {
+		c := &fbClass{}
+		hasFacts := rng.intn(100) < 45 // most classes yield nothing
+		hasWarn := rng.intn(100) < 25
+		if v == Tuned {
+			c.facts = collections.NewHashMap[int, int](rt, fbFactsCtx(),
+				collections.Impl(spec.KindLazyMap))
+			c.warnings = collections.NewHashSet[int](rt, fbWarnCtx(),
+				collections.Impl(spec.KindLazySet))
+		} else {
+			c.facts = collections.NewHashMap[int, int](rt, fbFactsCtx())
+			c.warnings = collections.NewHashSet[int](rt, fbWarnCtx())
+		}
+		if hasFacts {
+			n := 3 + rng.intn(4)
+			for f := 0; f < n; f++ {
+				c.facts.Put(f, rng.intn(50))
+			}
+		}
+		if hasWarn {
+			n := 1 + rng.intn(3)
+			for w := 0; w < n; w++ {
+				c.warnings.Add(rng.intn(500))
+			}
+		}
+		if h != nil {
+			c.code = h.AllocData(int64(512 + rng.intn(384)))
+		}
+		return c
+	}
+
+	report := func(c *fbClass) {
+		c.facts.Each(func(k, v int) bool {
+			checksum = mix(checksum, uint64(k*13+v))
+			return true
+		})
+		c.warnings.Each(func(w int) bool {
+			checksum = mix(checksum, uint64(w))
+			return true
+		})
+	}
+
+	freeClass := func(c *fbClass) {
+		c.facts.Free()
+		c.warnings.Free()
+		if c.code != nil {
+			c.code.Free()
+		}
+	}
+
+	var window []*fbClass
+	const windowSize = 200
+	for i := 0; i < scale*16; i++ {
+		c := analyze()
+		report(c)
+		window = append(window, c)
+		if len(window) > windowSize {
+			freeClass(window[0])
+			window = window[1:]
+		}
+	}
+	for _, c := range window {
+		freeClass(c)
+	}
+	return checksum
+}

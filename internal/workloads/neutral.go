@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"chameleon/internal/collections"
+)
+
+// Neutral models the rest of the DaCapo suite: "Most of the Dacapo
+// benchmarks do not make intensive use of collections, and hence our tool
+// showed little potential saving for those" (§5.1). The driver's heap is
+// dominated by non-collection data; its few collections are well-sized and
+// well-used. A correct tool must report little potential here and suggest
+// nothing dramatic — the negative result that keeps Chameleon from crying
+// wolf.
+
+// NeutralSpec describes the neutral workload. It is not part of All()
+// (the paper's Fig. 6/7 cover only the six benchmarks with potential) but
+// is exercised by tests and available to the CLI as "neutral".
+var NeutralSpec = Spec{
+	Name:         "neutral",
+	Description:  "DaCapo-like workload without collection pathologies: little potential, no suggestions",
+	Run:          RunNeutral,
+	DefaultScale: 200,
+}
+
+func neutralCtx() collections.Option {
+	return collections.At("dacapo.antlr.Grammar:88;dacapo.Harness:30")
+}
+
+// RunNeutral processes scale documents; each allocates mostly raw data and
+// one exactly-sized, fully-used list.
+func RunNeutral(rt *collections.Runtime, v Variant, scale int) uint64 {
+	rng := newRand(2024)
+	var checksum uint64
+	h := rt.Heap()
+	_ = v // the neutral workload has nothing worth tuning
+
+	type doc struct {
+		tokens *collections.List[int]
+		data   interface{ Free() }
+	}
+	var window []doc
+	const windowSize = 64
+	for i := 0; i < scale*8; i++ {
+		n := 16 + rng.intn(8)
+		// Well-used: exact capacity, filled completely, read completely.
+		tokens := collections.NewArrayList[int](rt, neutralCtx(), collections.Cap(n))
+		for j := 0; j < n; j++ {
+			tokens.Add(rng.intn(1 << 16))
+		}
+		tokens.Each(func(tok int) bool {
+			checksum = mix(checksum, uint64(tok))
+			return true
+		})
+		d := doc{tokens: tokens}
+		if h != nil {
+			// The dominant cost: parsed character data, ASTs, etc.
+			d.data = h.AllocData(int64(2048 + rng.intn(2048)))
+		}
+		window = append(window, d)
+		if len(window) > windowSize {
+			old := window[0]
+			old.tokens.Free()
+			if old.data != nil {
+				old.data.Free()
+			}
+			window = window[1:]
+		}
+	}
+	for _, d := range window {
+		d.tokens.Free()
+		if d.data != nil {
+			d.data.Free()
+		}
+	}
+	return checksum
+}

@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/core"
+	"chameleon/internal/profiler"
+	"chameleon/internal/spec"
+)
+
+// Per-workload profile signatures: each driver must produce exactly the
+// usage pattern the paper attributes to its benchmark, as seen by the
+// profiler (not just the end-to-end report).
+
+func profilesFor(t *testing.T, name string, scale int) []*profiler.Profile {
+	t.Helper()
+	spec0, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSession(core.Config{Mode: alloctx.Static, GCThreshold: 64 << 10})
+	if spec0.Run(s.Runtime(), Baseline, scale) == 0 {
+		t.Fatal("no work done")
+	}
+	s.FinalGC()
+	return s.Prof.Snapshot()
+}
+
+func profileByContext(t *testing.T, ps []*profiler.Profile, substr string) *profiler.Profile {
+	t.Helper()
+	for _, p := range ps {
+		if strings.Contains(p.Context.String(), substr) {
+			return p
+		}
+	}
+	t.Fatalf("no context containing %q", substr)
+	return nil
+}
+
+func TestTVLASignature(t *testing.T) {
+	ps := profilesFor(t, "tvla", 60)
+	// Seven HashMap contexts ("Most of the collection data is stored in
+	// HashMaps from seven contexts", §5.3).
+	var mapContexts int
+	for _, p := range ps {
+		if p.Declared == spec.KindHashMap && strings.Contains(p.Context.String(), "HashMapFactory") {
+			mapContexts++
+			if p.MaxSizeAvg != 14 || p.MaxSizeStdDev != 0 {
+				t.Fatalf("map sizes not small+stable: avg=%v sd=%v", p.MaxSizeAvg, p.MaxSizeStdDev)
+			}
+			// Get-dominated (Fig. 3).
+			if p.OpMean[spec.GetKey] <= p.OpMean[spec.Put] {
+				t.Fatalf("not get-dominated")
+			}
+		}
+	}
+	if mapContexts != 7 {
+		t.Fatalf("HashMap contexts = %d, want 7", mapContexts)
+	}
+	// The worklist LinkedList exists.
+	wl := profileByContext(t, ps, "tvla.engine.Engine")
+	if wl.Declared != spec.KindLinkedList {
+		t.Fatalf("worklist declared %v", wl.Declared)
+	}
+}
+
+func TestBloatSignature(t *testing.T) {
+	ps := profilesFor(t, "bloat", 150)
+	node := profileByContext(t, ps, "bloat.tree.Node")
+	if node.Declared != spec.KindLinkedList {
+		t.Fatalf("node lists declared %v", node.Declared)
+	}
+	// ~90% of the lists remain empty (§5.3 "most of the LinkedLists
+	// allocated at that context remained empty").
+	frac, _ := node.Metric("emptyFraction")
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("empty fraction = %.2f, want ~0.90", frac)
+	}
+	if node.Allocs < 1000 {
+		t.Fatalf("allocs = %d, want a massive count", node.Allocs)
+	}
+}
+
+func TestFOPSignature(t *testing.T) {
+	ps := profilesFor(t, "fop", 30)
+	unused := profileByContext(t, ps, "InlineStackingLayoutManager")
+	if unused.AllOpsTotal() != 0 {
+		t.Fatalf("the unused context has %d ops", unused.AllOpsTotal())
+	}
+	props := profileByContext(t, ps, "PropertyList")
+	if props.MaxSizeAvg >= 8 || props.MaxSizeAvg <= 2 {
+		t.Fatalf("property maps avg size = %v, want small", props.MaxSizeAvg)
+	}
+}
+
+func TestFindBugsSignature(t *testing.T) {
+	ps := profilesFor(t, "findbugs", 30)
+	facts := profileByContext(t, ps, "FactMap")
+	fracF, _ := facts.Metric("emptyFraction")
+	if fracF < 0.4 {
+		t.Fatalf("facts empty fraction = %.2f, want large", fracF)
+	}
+	warn := profileByContext(t, ps, "BugAccumulator")
+	fracW, _ := warn.Metric("emptyFraction")
+	if fracW < 0.6 {
+		t.Fatalf("warnings empty fraction = %.2f, want large", fracW)
+	}
+}
+
+func TestPMDSignature(t *testing.T) {
+	ps := profilesFor(t, "pmd", 20)
+	viol := profileByContext(t, ps, "pmd.RuleContext")
+	// Massive rapid allocation, short-lived: all dead at snapshot.
+	if viol.Allocs < 5000 {
+		t.Fatalf("violation lists allocs = %d, want massive", viol.Allocs)
+	}
+	if viol.Live != 0 {
+		t.Fatalf("violation lists live = %d, want 0 (short-lived)", viol.Live)
+	}
+	if viol.InitialCapAvg != 32 {
+		t.Fatalf("mistaken initial capacity = %v, want 32", viol.InitialCapAvg)
+	}
+	frac, _ := viol.Metric("emptyFraction")
+	if frac < 0.7 {
+		t.Fatalf("empty fraction = %.2f", frac)
+	}
+	// Large stable long-lived rule sets.
+	rs := profileByContext(t, ps, "RuleSetFactory")
+	if rs.MaxSizeAvg < 300 {
+		t.Fatalf("rule sets avg size = %v, want large", rs.MaxSizeAvg)
+	}
+	if rs.MaxSizeStdDev > 1 {
+		t.Fatalf("rule sets not stable: sd=%v", rs.MaxSizeStdDev)
+	}
+}
+
+func TestSootSignature(t *testing.T) {
+	ps := profilesFor(t, "soot", 30)
+	// Singleton by construction: every instance has maxSize exactly 1.
+	single := profileByContext(t, ps, "JIfStmt")
+	if single.MaxSizeAvg != 1 || single.MaxSizeStdDev != 0 {
+		t.Fatalf("singleton lists: avg=%v sd=%v", single.MaxSizeAvg, single.MaxSizeStdDev)
+	}
+	// The per-statement useBoxes lists are copy-rolled temporaries: every
+	// instance was used as an addAll source exactly once.
+	boxes := profileByContext(t, ps, "AbstractUnit.getUseBoxes")
+	if boxes.OpMean[spec.Copied] != 1 {
+		t.Fatalf("boxes copied mean = %v, want 1", boxes.OpMean[spec.Copied])
+	}
+	// The aggregated body lists grow far past the default capacity.
+	body := profileByContext(t, ps, "soot.Body.getUseBoxes")
+	if body.MaxSizeAvg <= 40 {
+		t.Fatalf("body boxes avg size = %v", body.MaxSizeAvg)
+	}
+	if ic := body.InitialCapAvg; ic != 0 {
+		t.Fatalf("initial capacity provided? %v (paper: 'rarely provided')", ic)
+	}
+}
+
+func TestNeutralSignature(t *testing.T) {
+	ps := profilesFor(t, "neutral", 60)
+	tokens := profileByContext(t, ps, "dacapo.antlr")
+	// Well-used: max size equals initial capacity on average, so the
+	// setCapacity rule has nothing to say.
+	if tokens.MaxSizeAvg > tokens.InitialCapAvg+1e-9 {
+		t.Fatalf("neutral lists outgrew their capacity: size %v cap %v",
+			tokens.MaxSizeAvg, tokens.InitialCapAvg)
+	}
+	frac, _ := tokens.Metric("emptyFraction")
+	if frac != 0 {
+		t.Fatalf("neutral lists empty fraction = %v", frac)
+	}
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+// SOOT (paper §5.3): a bytecode optimization framework whose intermediate
+// representation consists of many small long-lived objects making
+// intensive use of ArrayLists — "the initial capacity of the lists is
+// rarely provided, and the overall utilization of the lists is rather low
+// (overall, around 25%)". Two patterns dominate:
+//
+//  1. Lists that are singletons by construction (e.g. in JIfStmt) and are
+//     never modified — Chameleon suggests the immutable SingletonList.
+//  2. The useBoxes idiom: every IR node creates an ArrayList of its used
+//     values and aggregates its children's lists with addAll, creating
+//     many temporaries; without the major rewrite the paper selects
+//     proper initial sizes for these lists.
+//
+// The result in the paper: 6% space and 11% running-time improvement.
+
+func sootSingletonCtx() collections.Option {
+	return collections.At("soot.jimple.internal.JIfStmt:49;soot.jimple.Jimple:310")
+}
+
+func sootUseBoxesCtx() collections.Option {
+	return collections.At("soot.AbstractUnit.getUseBoxes:88;soot.Body:455")
+}
+
+func sootBodyBoxesCtx() collections.Option {
+	return collections.At("soot.Body.getUseBoxes:461;soot.PackManager:77")
+}
+
+type sootStmt struct {
+	targets *collections.List[int] // singleton by construction
+	uses    []int                  // raw operand ids (non-collection data)
+	data    interface{ Free() }
+}
+
+// RunSoot builds method bodies of IR statements (long-lived), then runs a
+// useBoxes aggregation pass over each body. Scale is the number of method
+// bodies; bodies stay live for the whole run, like SOOT's whole-program IR.
+func RunSoot(rt *collections.Runtime, v Variant, scale int) uint64 {
+	rng := newRand(31337)
+	var checksum uint64
+	h := rt.Heap()
+	const stmtsPerBody = 24
+
+	var bodies [][]*sootStmt
+	var datas []interface{ Free() }
+
+	newStmt := func() *sootStmt {
+		st := &sootStmt{}
+		if v == Tuned {
+			// Singleton by construction, never modified afterwards.
+			st.targets = collections.NewArrayList[int](rt, sootSingletonCtx(),
+				collections.Impl(spec.KindSingletonList))
+		} else {
+			st.targets = collections.NewArrayList[int](rt, sootSingletonCtx())
+		}
+		st.targets.Add(rng.intn(10000))
+		st.uses = []int{rng.intn(100), rng.intn(100)}
+		if h != nil {
+			// IR statement payload (operands, tags, position info): SOOT's
+			// heap is mostly these small long-lived objects; lists are
+			// ~25% of it, which bounds the saving (paper: 6%).
+			st.data = h.AllocData(448)
+		}
+		return st
+	}
+
+	// Build the whole-program IR.
+	for b := 0; b < scale; b++ {
+		body := make([]*sootStmt, stmtsPerBody)
+		for i := range body {
+			body[i] = newStmt()
+		}
+		bodies = append(bodies, body)
+	}
+
+	// useBoxes pass: every statement creates a list of its uses; the body
+	// aggregates them up the tree with addAll, creating temporaries.
+	for _, body := range bodies {
+		var bodyBoxes *collections.List[int]
+		if v == Tuned {
+			// Chameleon: proper initial size (2 uses per stmt).
+			bodyBoxes = collections.NewArrayList[int](rt, sootBodyBoxesCtx(),
+				collections.Cap(stmtsPerBody*2))
+		} else {
+			bodyBoxes = collections.NewArrayList[int](rt, sootBodyBoxesCtx())
+		}
+		for _, st := range body {
+			var boxes *collections.List[int]
+			if v == Tuned {
+				boxes = collections.NewArrayList[int](rt, sootUseBoxesCtx(),
+					collections.Cap(len(st.uses)))
+			} else {
+				boxes = collections.NewArrayList[int](rt, sootUseBoxesCtx())
+			}
+			for _, u := range st.uses {
+				boxes.Add(u)
+			}
+			bodyBoxes.AddAll(boxes) // the temporary is rolled in and dies
+			boxes.Free()
+		}
+		bodyBoxes.Each(func(u int) bool {
+			checksum = mix(checksum, uint64(u))
+			return true
+		})
+		bodyBoxes.Free()
+	}
+
+	// Final pass uses the retained IR (keeps it live to the end).
+	for _, body := range bodies {
+		for _, st := range body {
+			t := st.targets.Get(0)
+			checksum = mix(checksum, uint64(t))
+		}
+	}
+	for _, body := range bodies {
+		for _, st := range body {
+			st.targets.Free()
+			if st.data != nil {
+				st.data.Free()
+			}
+		}
+	}
+	for _, d := range datas {
+		d.Free()
+	}
+	return checksum
+}

@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"fmt"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+// TVLA (paper §2.1, §5.3): a parametric abstract-interpretation engine.
+// Most of the heap stores abstract program states; each state keeps its
+// predicate valuations in HashMaps allocated from seven contexts
+// ("Most of the collection data is stored in HashMaps from seven
+// contexts"). The maps are small (a handful of predicates) and the
+// analysis is completely dominated by get operations (Fig. 3). Chameleon's
+// fix: replace the HashMaps with ArrayMaps sized to the predicate count,
+// replace a worklist LinkedList with an ArrayList, and set initial sizes —
+// halving the minimal heap and, in the paper's run, cutting the
+// verification time from 49 to 19 minutes.
+
+// tvlaPredicates is the number of unary predicate maps per abstract state.
+const tvlaPredicates = 7
+
+// tvlaMapSize is the number of entries per predicate map. 14 sits between
+// the paper's §2.3 conversion thresholds: converting the hybrid at 16
+// keeps the compact footprint, converting at 13 forfeits it.
+const tvlaMapSize = 14
+
+// tvlaState is one abstract state: seven predicate maps plus non-collection
+// payload (the structure's universe).
+type tvlaState struct {
+	preds [tvlaPredicates]*collections.Map[int, int]
+	hash  uint64
+}
+
+func tvlaContext(i int) collections.Option {
+	return collections.At(fmt.Sprintf("tvla.util.HashMapFactory:31;tvla.core.base.BaseTVS:%d", 50+i))
+}
+
+// tvlaMapMaker allocates one predicate map for context i.
+type tvlaMapMaker func(i int) *collections.Map[int, int]
+
+// newTVLAState allocates a state's predicate maps.
+func newTVLAState(mk tvlaMapMaker, rng *xorshift, id int) *tvlaState {
+	st := &tvlaState{}
+	for i := 0; i < tvlaPredicates; i++ {
+		st.preds[i] = mk(i)
+	}
+	// Populate: each predicate map holds a valuation per individual.
+	for i := 0; i < tvlaPredicates; i++ {
+		for j := 0; j < tvlaMapSize; j++ {
+			st.preds[i].Put(j, rng.intn(3)) // 3-valued logic: 0, 1, 1/2
+		}
+	}
+	st.hash = uint64(id)
+	return st
+}
+
+func (st *tvlaState) free() {
+	for _, m := range st.preds {
+		m.Free()
+	}
+}
+
+// RunTVLA drives the fixpoint: a worklist of states; each step reads the
+// predicate maps of a batch of existing states (get-dominated), joins them
+// into a new state, and retains it in the (ever-growing) state space.
+// Scale is the number of fixpoint steps; the state space grows linearly
+// with it, which is what makes TVLA memory-bound.
+func RunTVLA(rt *collections.Runtime, v Variant, scale int) uint64 {
+	mk := func(i int) *collections.Map[int, int] {
+		if v == Tuned {
+			// Chameleon suggestion for contexts 1..7: "replace with
+			// ArrayMap (initial capacity maxSize)".
+			return collections.NewHashMap[int, int](rt, tvlaContext(i),
+				collections.Impl(spec.KindArrayMap), collections.Cap(tvlaMapSize))
+		}
+		return collections.NewHashMap[int, int](rt, tvlaContext(i))
+	}
+	return runTVLA(rt, v, mk, scale)
+}
+
+// RunTVLAAdaptive runs TVLA with the §2.3 hybrid: every predicate map is a
+// SizeAdaptingMap that converts from an array to a hash map when its size
+// crosses threshold. Sweeping the threshold reproduces the paper's finding
+// that the conversion size is delicate: conversion below the typical map
+// size forfeits the footprint win, conversion above it costs linear-probe
+// time for nothing.
+func RunTVLAAdaptive(rt *collections.Runtime, threshold, scale int) uint64 {
+	mk := func(i int) *collections.Map[int, int] {
+		return collections.NewSizeAdaptingMap[int, int](rt, tvlaContext(i),
+			collections.AdaptAt(threshold))
+	}
+	return runTVLA(rt, Baseline, mk, scale)
+}
+
+func runTVLA(rt *collections.Runtime, v Variant, mk tvlaMapMaker, scale int) uint64 {
+	rng := newRand(42)
+	var checksum uint64
+
+	// The worklist: the paper notes a LinkedList that can be replaced by
+	// an ArrayList.
+	var worklist *collections.List[int]
+	wctx := collections.At("tvla.engine.Engine:77;tvla.engine.Worklist:12")
+	if v == Tuned {
+		worklist = collections.NewLinkedList[int](rt, wctx,
+			collections.Impl(spec.KindArrayList), collections.Cap(64))
+	} else {
+		worklist = collections.NewLinkedList[int](rt, wctx)
+	}
+	defer worklist.Free()
+
+	states := make([]*tvlaState, 0, scale+4)
+	// Non-collection live data: each state's universe payload. Kept small
+	// relative to the predicate maps — TVLA's heap is collection-dominated
+	// (Fig. 2 shows collections reaching ~70% of live data).
+	datas := make([]interface{ Free() }, 0, scale+4)
+	h := rt.Heap()
+
+	seed := newTVLAState(mk, rng, 0)
+	states = append(states, seed)
+	if h != nil {
+		datas = append(datas, h.AllocData(1024))
+	}
+	worklist.Add(0)
+
+	for step := 0; step < scale; step++ {
+		// Pop the next state id to process.
+		id, ok := worklist.RemoveFirst()
+		if !ok {
+			id = rng.intn(len(states))
+		}
+		base := states[id%len(states)]
+
+		// The transfer function: read predicate valuations of a batch of
+		// states (get-dominated usage), join into a fresh state.
+		next := newTVLAState(mk, rng, step+1)
+		for b := 0; b < 4; b++ {
+			other := states[rng.intn(len(states))]
+			for i := 0; i < tvlaPredicates; i++ {
+				for j := 0; j < tvlaMapSize; j++ {
+					bv, _ := base.preds[i].Get(j)
+					ov, _ := other.preds[i].Get(j)
+					joined := bv
+					if ov != bv {
+						joined = 2 // 1/2: unknown
+					}
+					next.preds[i].Put(j, joined)
+					checksum = mix(checksum, uint64(joined)+uint64(i*31+j))
+				}
+			}
+		}
+
+		// The state space retains every abstract state seen.
+		states = append(states, next)
+		if h != nil {
+			datas = append(datas, h.AllocData(1024))
+		}
+		worklist.Add(step + 1)
+		if worklist.Size() > 64 {
+			// Bounded frontier: drop old entries from the head.
+			for worklist.Size() > 32 {
+				worklist.RemoveFirst()
+			}
+		}
+	}
+
+	// Final answer: fold every state's valuations (forces the maps to be
+	// genuinely needed until the end of the run).
+	for _, st := range states {
+		for i := 0; i < tvlaPredicates; i++ {
+			st.preds[i].Each(func(k, v int) bool {
+				checksum = mix(checksum, uint64(k*7+v))
+				return true
+			})
+		}
+	}
+	for _, st := range states {
+		st.free()
+	}
+	for _, d := range datas {
+		d.Free()
+	}
+	return checksum
+}

@@ -1,0 +1,173 @@
+// Package workloads implements synthetic drivers reproducing the
+// collection-usage pathologies of the paper's six evaluation subjects
+// (§5.1, §5.3): TVLA, bloat, FOP, FindBugs, PMD and SOOT. The paper's
+// claims depend on each benchmark's collection usage *pattern* — which the
+// text describes in detail — not on the Java applications themselves, so
+// each driver exercises the same pattern through this library:
+//
+//	tvla     — abstract states stored in many small, get-dominated HashMaps
+//	           from a handful of contexts; fix: ArrayMap (+capacity).
+//	bloat    — a spike of LinkedLists that mostly remain empty; fix: lazy
+//	           allocation / LazyArrayList.
+//	fop      — layout tree with small property HashMaps and some
+//	           never-used collections; fix: ArrayMap, lazy, capacities.
+//	findbugs — small HashMaps/HashSets, many remaining empty; fix:
+//	           ArrayMap/ArraySet and lazy allocation.
+//	pmd      — massive rapid allocation of short-lived, oversized
+//	           ArrayLists plus large stable long-lived sets; fixes reduce
+//	           churn and GC count but not the minimal heap.
+//	soot     — singleton ArrayLists and the useBoxes addAll-aggregation
+//	           idiom; fix: SingletonList and tuned initial capacities.
+//
+// Every driver returns a checksum of its computed result; the Baseline and
+// Tuned variants must agree (collection replacements may not change
+// logical behaviour — the §1 interchangeability requirement), which the
+// tests verify.
+package workloads
+
+import (
+	"fmt"
+
+	"chameleon/internal/collections"
+)
+
+// Variant selects whether a driver uses its original collection choices or
+// the choices Chameleon's report suggests for it.
+type Variant int
+
+const (
+	// Baseline is the original program: default collection choices.
+	Baseline Variant = iota
+	// Tuned applies the fixes suggested by the Chameleon report for this
+	// workload (the §5.2 methodology steps 3-4).
+	Tuned
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Tuned {
+		return "tuned"
+	}
+	return "baseline"
+}
+
+// RunFunc runs one workload at the given scale and returns a checksum of
+// the computed result.
+type RunFunc func(rt *collections.Runtime, v Variant, scale int) uint64
+
+// Spec describes one workload.
+type Spec struct {
+	Name string
+	// Description summarizes the collection pathology the driver models.
+	Description string
+	// Run drives the workload.
+	Run RunFunc
+	// DefaultScale is the scale used by the experiment runners.
+	DefaultScale int
+	// PaperMinHeapPct is the minimal-heap improvement the paper reports
+	// (Fig. 6), for the EXPERIMENTS.md comparison.
+	PaperMinHeapPct float64
+	// PaperRunTimePct is the running-time improvement the paper reports
+	// (Fig. 7).
+	PaperRunTimePct float64
+}
+
+// All lists every workload in the paper's presentation order.
+func All() []Spec {
+	return []Spec{
+		{
+			Name:            "tvla",
+			Description:     "abstract interpretation: small get-dominated HashMaps -> ArrayMap",
+			Run:             RunTVLA,
+			DefaultScale:    300,
+			PaperMinHeapPct: 53.95,
+			PaperRunTimePct: 61.0, // 49 -> 19 minutes
+		},
+		{
+			Name:            "bloat",
+			Description:     "spike of mostly-empty LinkedLists -> lazy allocation",
+			Run:             RunBloat,
+			DefaultScale:    400,
+			PaperMinHeapPct: 56.0,
+			PaperRunTimePct: 10.0,
+		},
+		{
+			Name:            "fop",
+			Description:     "layout tree property maps -> ArrayMap + lazy + capacities",
+			Run:             RunFOP,
+			DefaultScale:    300,
+			PaperMinHeapPct: 7.69,
+			PaperRunTimePct: 5.0,
+		},
+		{
+			Name:            "findbugs",
+			Description:     "small and often-empty maps/sets -> ArrayMap/ArraySet + lazy",
+			Run:             RunFindBugs,
+			DefaultScale:    300,
+			PaperMinHeapPct: 13.79,
+			PaperRunTimePct: 5.0,
+		},
+		{
+			Name:            "pmd",
+			Description:     "short-lived oversized ArrayLists + large stable sets: churn, not peak",
+			Run:             RunPMD,
+			DefaultScale:    250,
+			PaperMinHeapPct: 0.0,
+			PaperRunTimePct: 8.33,
+		},
+		{
+			Name:            "soot",
+			Description:     "singleton lists + useBoxes addAll aggregation -> SingletonList + capacities",
+			Run:             RunSoot,
+			DefaultScale:    250,
+			PaperMinHeapPct: 6.0,
+			PaperRunTimePct: 11.0,
+		},
+	}
+}
+
+// ByName finds a workload spec, including the auxiliary neutral workload.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	if name == NeutralSpec.Name {
+		return NeutralSpec, nil
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// xorshift is a tiny deterministic PRNG so drivers are reproducible and
+// allocation-free.
+type xorshift uint64
+
+func newRand(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	x := xorshift(seed)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// intn returns a value in [0, n).
+func (x *xorshift) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+// mix folds a value into a running checksum.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
