@@ -2,7 +2,8 @@
 // language:
 //
 //	chameleon-rules fmt   <rules.cham>                 # parse + pretty-print
-//	chameleon-rules check <rules.cham> [-param X=32]   # static checks
+//	chameleon-rules check <rules.cham> [-param X=32]   # vocabulary checks
+//	chameleon-rules vet   <rules.cham> [-json]         # semantic static analysis
 //	chameleon-rules eval  <rules.cham> -profile p.json # offline rule run
 //	chameleon-rules explain <rules.cham> -profile p.json -context substr
 //	                                                   # trace why rules fire or not
@@ -11,11 +12,21 @@
 // The eval subcommand consumes a profile snapshot written by
 // `chameleon -profile-out` and prints the suggestion report without
 // re-running the program — the offline half of the paper's workflow.
+//
+// Exit codes form a contract scripts can dispatch on:
+//
+//	0  success
+//	1  runtime failure, or error-severity vet diagnostics
+//	2  usage error
+//	3  the rules file does not parse
+//	4  the rules parse but fail vocabulary checks
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,34 +36,73 @@ import (
 	"chameleon/internal/rules"
 )
 
+const (
+	exitOK      = 0
+	exitFailure = 1 // runtime failure, or error-severity vet findings
+	exitUsage   = 2
+	exitParse   = 3 // the rules file does not parse
+	exitVocab   = 4 // the rules parse but fail vocabulary checks
+)
+
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches a full command line and reports the process exit status.
+// It is the testable entry point: main only binds it to os.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "fmt":
-		cmdFmt(os.Args[2:])
+		return cmdFmt(args[1:], stdout, stderr)
 	case "check":
-		cmdCheck(os.Args[2:])
+		return cmdCheck(args[1:], stdout, stderr)
+	case "vet":
+		return cmdVet(args[1:], stdout, stderr)
 	case "eval":
-		cmdEval(os.Args[2:])
+		return cmdEval(args[1:], stdout, stderr)
 	case "explain":
-		cmdExplain(os.Args[2:])
+		return cmdExplain(args[1:], stdout, stderr)
 	case "builtin":
-		cmdBuiltin(os.Args[2:])
+		return cmdBuiltin(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return exitOK
 	default:
-		usage()
+		fmt.Fprintf(stderr, "chameleon-rules: unknown command %q\n", args[0])
+		return usage(stderr)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: chameleon-rules fmt|check|eval|explain|builtin [args]")
-	os.Exit(2)
+func usage(w io.Writer) int {
+	fmt.Fprint(w, `usage: chameleon-rules <command> [arguments]
+
+commands:
+  fmt     <rules.cham> [-w]            parse and pretty-print
+  check   <rules.cham> [-param N=V]    parse and check the vocabulary
+  vet     <rules.cham>|-builtin|-extended [-json] [-strict] [-param N=V]
+                                       semantic static analysis (see docs/ANALYSIS.md)
+  eval    <rules.cham> -profile p.json [-top K] [-min-potential B]
+                                       offline suggestion report from a snapshot
+  explain <rules.cham> -profile p.json [-context substr] [-fired]
+                                       trace why rules fire or not
+  builtin [-extended]                  print the shipped rule sets
+
+exit codes:
+  0  success
+  1  runtime failure, or error-severity vet diagnostics
+  2  usage error
+  3  the rules file does not parse
+  4  the rules parse but fail vocabulary checks
+`)
+	return exitUsage
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "chameleon-rules:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "chameleon-rules:", err)
+	return exitFailure
 }
 
 // paramFlags collects repeated -param NAME=VALUE flags on top of the
@@ -93,93 +143,210 @@ func splitFile(args []string) (file string, rest []string) {
 	return "", args
 }
 
-func loadRules(path string) *rules.RuleSet {
+// loadRules reads and parses a rules file, reporting the exit status that
+// distinguishes unreadable files (1) from files that do not parse (3).
+func loadRules(path string, stderr io.Writer) (*rules.RuleSet, int) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, fail(stderr, err)
 	}
 	rs, err := rules.Parse(string(src))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "chameleon-rules:", err)
+		return nil, exitParse
 	}
-	return rs
+	return rs, exitOK
 }
 
-func cmdFmt(args []string) {
-	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+func cmdFmt(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	write := fs.Bool("w", false, "write the formatted output back to the file")
 	path, rest := splitFile(args)
-	fs.Parse(rest)
+	if err := fs.Parse(rest); err != nil {
+		return exitUsage
+	}
 	if path == "" {
 		path = fs.Arg(0)
 	}
 	if path == "" {
-		fatal(fmt.Errorf("fmt: expected one rules file"))
+		fmt.Fprintln(stderr, "chameleon-rules: fmt: expected one rules file")
+		return exitUsage
 	}
-	rs := loadRules(path)
+	rs, status := loadRules(path, stderr)
+	if status != exitOK {
+		return status
+	}
 	out := rules.Print(rs)
 	if *write {
 		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		return
+		return exitOK
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
+	return exitOK
 }
 
-func cmdCheck(args []string) {
-	fs := flag.NewFlagSet("check", flag.ExitOnError)
+func cmdCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	params := newParams()
 	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
 	path, rest := splitFile(args)
-	fs.Parse(rest)
+	if err := fs.Parse(rest); err != nil {
+		return exitUsage
+	}
 	if path == "" {
 		path = fs.Arg(0)
 	}
 	if path == "" {
-		fatal(fmt.Errorf("check: expected one rules file"))
+		fmt.Fprintln(stderr, "chameleon-rules: check: expected one rules file")
+		return exitUsage
 	}
-	rs := loadRules(path)
-	errs := rules.Check(rs, params.params)
-	for _, e := range errs {
-		fmt.Fprintln(os.Stderr, e)
+	rs, status := loadRules(path, stderr)
+	if status != exitOK {
+		return status
 	}
-	if len(errs) > 0 {
-		os.Exit(1)
+	if errs := rules.Check(rs, params.params); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(stderr, e)
+		}
+		return exitVocab
 	}
-	fmt.Printf("%d rules OK; parameters referenced: %v\n", len(rs.Rules), rules.ParamsOf(rs))
+	// Semantic advisories ride along on stderr but do not affect the
+	// status: check answers "is the vocabulary valid", vet answers "do the
+	// rules make sense" and owns the failing exit codes.
+	for _, d := range rules.Vet(rs, params.params) {
+		fmt.Fprintln(stderr, d)
+	}
+	fmt.Fprintf(stdout, "%d rules OK; parameters referenced: %v\n", len(rs.Rules), rules.ParamsOf(rs))
+	return exitOK
 }
 
-func cmdEval(args []string) {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+// cmdVet runs the semantic analyzer over a rules file or a shipped set.
+// Vocabulary errors gate the analysis: Vet's verdicts assume every name
+// resolves, so an unknown op or unbound parameter exits 4 before vetting.
+func cmdVet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	strict := fs.Bool("strict", false, "exit 1 on warnings, not only errors")
+	builtin := fs.Bool("builtin", false, "vet the shipped builtin rule set")
+	extended := fs.Bool("extended", false, "vet the shipped extended rule set")
+	params := newParams()
+	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
+	path, rest := splitFile(args)
+	if err := fs.Parse(rest); err != nil {
+		return exitUsage
+	}
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	var rs *rules.RuleSet
+	var label string
+	sources := 0
+	for _, set := range []bool{*builtin, *extended, path != ""} {
+		if set {
+			sources++
+		}
+	}
+	switch {
+	case sources > 1:
+		fmt.Fprintln(stderr, "chameleon-rules: vet: choose one of a rules file, -builtin, or -extended")
+		return exitUsage
+	case *builtin:
+		rs, label = rules.Builtin(), "builtin"
+	case *extended:
+		rs, label = rules.Extended(), "extended"
+	case path != "":
+		var status int
+		rs, status = loadRules(path, stderr)
+		if status != exitOK {
+			return status
+		}
+		label = path
+	default:
+		fmt.Fprintln(stderr, "chameleon-rules: vet: expected a rules file (or -builtin / -extended)")
+		return exitUsage
+	}
+	if errs := rules.Check(rs, params.params); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(stderr, e)
+		}
+		return exitVocab
+	}
+	diags := rules.Vet(rs, params.params)
+	errors, warnings := 0, 0
+	for _, d := range diags {
+		if d.Severity == rules.SevError {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []rules.Diagnostic{} // always an array, never null
+		}
+		b, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		fmt.Fprintf(stdout, "%s: %d rules: %d errors, %d warnings\n",
+			label, len(rs.Rules), errors, warnings)
+	}
+	if errors > 0 || (*strict && warnings > 0) {
+		return exitFailure
+	}
+	return exitOK
+}
+
+func cmdEval(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	profilePath := fs.String("profile", "", "profile snapshot JSON (from chameleon -profile-out)")
 	top := fs.Int("top", 10, "show the top-K contexts")
 	minPotential := fs.Int64("min-potential", 0, "suppress space replacements below this potential (bytes; -1 disables)")
 	params := newParams()
 	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
 	path, rest := splitFile(args)
-	fs.Parse(rest)
+	if err := fs.Parse(rest); err != nil {
+		return exitUsage
+	}
 	if path == "" {
 		path = fs.Arg(0)
 	}
 	if path == "" || *profilePath == "" {
-		fatal(fmt.Errorf("eval: expected a rules file and -profile snapshot"))
+		fmt.Fprintln(stderr, "chameleon-rules: eval: expected a rules file and -profile snapshot")
+		return exitUsage
 	}
-	rs := loadRules(path)
+	rs, status := loadRules(path, stderr)
+	if status != exitOK {
+		return status
+	}
 	if errs := rules.Check(rs, params.params); len(errs) > 0 {
 		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, e)
+			fmt.Fprintln(stderr, e)
 		}
-		os.Exit(1)
+		return exitVocab
 	}
+	// Semantic findings (shadowed or never-firing rules skew the
+	// suggestions) reach the user through the report itself: Advise runs
+	// Vet and Format leads with the diagnostics.
 	f, err := os.Open(*profilePath)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	defer f.Close()
 	profiles, err := profiler.ReadProfiles(f)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	rep, err := advisor.Advise(profiles, advisor.Options{
 		Rules:        rs,
@@ -188,37 +355,45 @@ func cmdEval(args []string) {
 		MinPotential: *minPotential,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Print(rep.Format())
+	fmt.Fprint(stdout, rep.Format())
+	return exitOK
 }
 
 // cmdExplain traces rule evaluation against a profiled context: why each
 // rule fired or did not.
-func cmdExplain(args []string) {
-	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+func cmdExplain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	profilePath := fs.String("profile", "", "profile snapshot JSON (from chameleon -profile-out)")
 	ctxSubstr := fs.String("context", "", "substring selecting the context(s) to explain")
 	firedOnly := fs.Bool("fired", false, "show only rules that fired")
 	params := newParams()
 	fs.Var(params, "param", "bind a rule parameter NAME=VALUE (repeatable)")
 	path, rest := splitFile(args)
-	fs.Parse(rest)
+	if err := fs.Parse(rest); err != nil {
+		return exitUsage
+	}
 	if path == "" {
 		path = fs.Arg(0)
 	}
 	if path == "" || *profilePath == "" {
-		fatal(fmt.Errorf("explain: expected a rules file and -profile snapshot"))
+		fmt.Fprintln(stderr, "chameleon-rules: explain: expected a rules file and -profile snapshot")
+		return exitUsage
 	}
-	rs := loadRules(path)
+	rs, status := loadRules(path, stderr)
+	if status != exitOK {
+		return status
+	}
 	f, err := os.Open(*profilePath)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	defer f.Close()
 	profiles, err := profiler.ReadProfiles(f)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	opts := rules.EvalOptions{Params: params.params}
 	shown := 0
@@ -226,7 +401,7 @@ func cmdExplain(args []string) {
 		if *ctxSubstr != "" && !strings.Contains(p.Context.String(), *ctxSubstr) {
 			continue
 		}
-		fmt.Printf("context: %s (declared %s, avgMaxSize %.1f, potential %d)\n",
+		fmt.Fprintf(stdout, "context: %s (declared %s, avgMaxSize %.1f, potential %d)\n",
 			p.Context, p.Declared, p.MaxSizeAvg, p.Potential())
 		for _, r := range rs.Rules {
 			ex := rules.Explain(r, p, opts)
@@ -236,23 +411,28 @@ func cmdExplain(args []string) {
 			if !ex.SrcMatched && *ctxSubstr == "" {
 				continue // keep unfiltered output readable
 			}
-			fmt.Print(ex.String())
+			fmt.Fprint(stdout, ex.String())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		shown++
 	}
 	if shown == 0 {
-		fmt.Fprintln(os.Stderr, "chameleon-rules: no contexts matched")
+		fmt.Fprintln(stderr, "chameleon-rules: no contexts matched")
 	}
+	return exitOK
 }
 
-func cmdBuiltin(args []string) {
-	fs := flag.NewFlagSet("builtin", flag.ExitOnError)
+func cmdBuiltin(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("builtin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	extended := fs.Bool("extended", false, "include the extension rules (SinglyLinkedList, open addressing)")
-	fs.Parse(args)
-	if *extended {
-		fmt.Print(rules.Print(rules.Extended()))
-		return
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	fmt.Print(rules.Print(rules.Builtin()))
+	if *extended {
+		fmt.Fprint(stdout, rules.Print(rules.Extended()))
+		return exitOK
+	}
+	fmt.Fprint(stdout, rules.Print(rules.Builtin()))
+	return exitOK
 }

@@ -103,6 +103,19 @@ func main() {
 			}
 			os.Exit(1)
 		}
+		// Vet the user's rules before spending a profiling run on them:
+		// warnings are advisory, error-severity findings (rules that
+		// provably never fire) abort like vocabulary errors do.
+		vetErrors := 0
+		for _, d := range rules.Vet(ruleSet, rules.DefaultParams) {
+			fmt.Fprintln(os.Stderr, "chameleon: rule vet:", d)
+			if d.Severity == rules.SevError {
+				vetErrors++
+			}
+		}
+		if vetErrors > 0 {
+			os.Exit(1)
+		}
 	}
 
 	if *compare {

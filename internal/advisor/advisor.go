@@ -97,6 +97,11 @@ type Report struct {
 	// Suggestions holds one entry per context that matched at least one
 	// rule, in rank order.
 	Suggestions []Suggestion
+	// RuleDiagnostics are the semantic findings of rules.Vet over the rule
+	// set that produced the suggestions: a shadowed or never-firing rule
+	// skews the report, so Format surfaces them alongside it. Empty for
+	// the shipped sets, which are kept vet-clean.
+	RuleDiagnostics []rules.Diagnostic
 }
 
 // Advise evaluates the rule set over every profile and builds the report.
@@ -106,7 +111,7 @@ func Advise(profiles []*profiler.Profile, opts Options) (*Report, error) {
 	if opts.Top > 0 && len(ranked) > opts.Top {
 		ranked = ranked[:opts.Top]
 	}
-	rep := &Report{Ranked: ranked}
+	rep := &Report{Ranked: ranked, RuleDiagnostics: rules.Vet(opts.Rules, opts.Params)}
 	evalOpts := rules.EvalOptions{Params: opts.Params, MaxSizeStdDev: opts.MaxSizeStdDev}
 	for i, p := range ranked {
 		ms, err := rules.Eval(opts.Rules, p, evalOpts)
@@ -150,6 +155,13 @@ func filterNegligible(ms []rules.Match, p *profiler.Profile, minPotential int64)
 // top contexts (the Fig. 3 view).
 func (r *Report) Format() string {
 	var b strings.Builder
+	if len(r.RuleDiagnostics) > 0 {
+		b.WriteString("rule diagnostics:\n")
+		for _, d := range r.RuleDiagnostics {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		b.WriteString("\n")
+	}
 	for _, s := range r.Suggestions {
 		fmt.Fprintf(&b, "%d: %s:%s %s\n", s.Rank, s.Profile.Declared, s.Profile.Context, Describe(s.Primary))
 		if s.Primary.Rule.Message != "" {

@@ -226,6 +226,39 @@ func TestDescribeAllActionKinds(t *testing.T) {
 	}
 }
 
+// A semantically broken custom rule set surfaces its vet findings in the
+// report; the shipped sets stay clean, so the header never appears for them.
+func TestAdviseSurfacesRuleDiagnostics(t *testing.T) {
+	rs, err := rules.Parse("HashMap : maxSize < 2 && maxSize > 32 -> ArrayMap\n" +
+		"HashMap : #get(Object) > 50 -> LinkedHashMap \"Time: custom\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Advise(buildTVLAStyleSnapshot(t), Options{Rules: rs, Params: rules.Params{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RuleDiagnostics) != 1 || rep.RuleDiagnostics[0].Code != rules.CodeUnsatisfiable {
+		t.Fatalf("RuleDiagnostics = %v, want one unsat", rep.RuleDiagnostics)
+	}
+	text := rep.Format()
+	if !strings.Contains(text, "rule diagnostics:") || !strings.Contains(text, "[unsat]") {
+		t.Fatalf("report does not surface the vet finding:\n%s", text)
+	}
+	// The broken rule must not have cost the working one its suggestion.
+	if !strings.Contains(text, "replace with LinkedHashMap") {
+		t.Fatalf("working rule lost:\n%s", text)
+	}
+
+	clean, err := Advise(buildTVLAStyleSnapshot(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.RuleDiagnostics) != 0 || strings.Contains(clean.Format(), "rule diagnostics:") {
+		t.Fatalf("builtin rules reported diagnostics: %v", clean.RuleDiagnostics)
+	}
+}
+
 func TestAdviseCustomRules(t *testing.T) {
 	rs, err := rules.Parse(`HashMap : #get(Object) > 50 -> LinkedHashMap "Time: custom"`)
 	if err != nil {

@@ -13,10 +13,24 @@ import (
 // with the rule's source type. It returns every problem found.
 func Check(rs *RuleSet, params Params) []error {
 	var errs []error
-	for _, r := range rs.Rules {
+	seen := map[string]int{} // rule identity (src : cond -> action) to 1-based index
+	for i, r := range rs.Rules {
 		errs = append(errs, checkRule(r, params)...)
+		key := ruleIdentity(r)
+		if first, dup := seen[key]; dup {
+			errs = append(errs, errf(r.At,
+				"duplicate of rule %d (line %d): identical srcType, condition and action", first, rs.Rules[first-1].At.Line))
+		} else {
+			seen[key] = i + 1
+		}
 	}
 	return errs
+}
+
+// ruleIdentity renders the semantically significant parts of a rule — the
+// message string is presentation only — for duplicate detection.
+func ruleIdentity(r *Rule) string {
+	return r.Src.String() + " : " + printCond(r.Cond, false) + " -> " + printAction(r.Act)
 }
 
 func checkRule(r *Rule, params Params) []error {
@@ -39,6 +53,14 @@ func checkRule(r *Rule, params Params) []error {
 		if src.IsAbstract() && src != spec.KindCollection && impl.Abstract() != src {
 			errs = append(errs, errf(r.Act.At,
 				"replacement %v does not implement source ADT %v", impl, src))
+		}
+	}
+	switch r.Act.Kind {
+	case ActAvoid, ActEliminateCopies, ActRemoveIterator:
+		// The advisory fixes carry no capacity. The parser cannot produce
+		// this shape, but programmatically built rule sets can.
+		if r.Act.Capacity.Present {
+			errs = append(errs, errf(r.Act.At, "%v does not take a capacity argument", r.Act.Kind))
 		}
 	}
 	if r.Act.Capacity.Present && !r.Act.Capacity.FromMaxSize && r.Act.Capacity.Value < 0 {

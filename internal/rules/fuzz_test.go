@@ -45,3 +45,43 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVet asserts the analyzer total: on any rule set the parser accepts —
+// vocabulary-clean or not — Vet must return without panicking, and its
+// diagnostics must carry valid rule indices. The analyzer also runs under
+// an empty parameter environment, where every parameter is unbound and all
+// bounds widen.
+func FuzzVet(f *testing.F) {
+	seeds := []string{
+		BuiltinSource,
+		ExtendedSource,
+		"ArrayList : maxSize < 2 && maxSize > Y -> LinkedHashSet",
+		"List : #put > X -> ArrayList",
+		"ArrayList : maxSize > Y -> ArrayList",
+		"HashMap : #get(Object) / 0 > X -> ArrayMap",
+		"HashSet : stable(maxSize) < S -> OpenHashSet",
+		"HashMap : size > 0 && stable(maxSize) > S -> OpenHashMap",
+		"Collection : !(#allOps == 0) || maxSize / maxSize > 1 -> avoid",
+		"ArrayList : #frob > unboundParam -> LinkedList", // fails Check; Vet must still hold
+		"LinkedList : #get(int) >= 0 -> ArrayList\nLinkedList : #get(int) > X -> ArrayList\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, params := range []Params{DefaultParams, nil} {
+			for _, d := range Vet(rs, params) {
+				if d.Rule < 1 || d.Rule > len(rs.Rules) {
+					t.Fatalf("diagnostic rule index %d out of range [1,%d]: %v", d.Rule, len(rs.Rules), d)
+				}
+				if d.Code == "" || d.Message == "" {
+					t.Fatalf("diagnostic missing code or message: %+v", d)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -94,8 +95,8 @@ func (lx *lexer) next() (token, error) {
 		}
 		return token{kind: tokNumber, text: b.String(), pos: pos}, nil
 	case c == '"':
+		start := lx.off
 		lx.advance()
-		var b strings.Builder
 		for {
 			if lx.off >= len(lx.src) {
 				return token{}, errf(pos, "unterminated string literal")
@@ -104,25 +105,20 @@ func (lx *lexer) next() (token, error) {
 			if c == '"' {
 				break
 			}
-			if c == '\\' && lx.off < len(lx.src) {
-				esc := lx.advance()
-				switch esc {
-				case 'n':
-					b.WriteByte('\n')
-				case 't':
-					b.WriteByte('\t')
-				case '"':
-					b.WriteByte('"')
-				case '\\':
-					b.WriteByte('\\')
-				default:
-					return token{}, errf(pos, "unknown escape \\%c in string", esc)
+			if c == '\\' {
+				if lx.off >= len(lx.src) {
+					return token{}, errf(pos, "unterminated string literal")
 				}
-				continue
+				lx.advance()
 			}
-			b.WriteByte(c)
 		}
-		return token{kind: tokString, text: b.String(), pos: pos}, nil
+		// Decode with the full Go escape set so every literal the printer's
+		// strconv.Quote can emit (\xNN, \uNNNN, ...) parses back.
+		text, err := strconv.Unquote(lx.src[start:lx.off])
+		if err != nil {
+			return token{}, errf(pos, "bad string literal: %v", err)
+		}
+		return token{kind: tokString, text: text, pos: pos}, nil
 	}
 	lx.advance()
 	two := func(next byte, k2 tokenKind, k1 tokenKind) (token, error) {

@@ -236,6 +236,27 @@ func TestLexerStringEscapes(t *testing.T) {
 	}
 }
 
+// The printer quotes messages with strconv.Quote, which escapes control
+// characters as \xNN and friends; the lexer must accept that full escape
+// set or printed rules would not re-parse (found by FuzzParse).
+func TestLexerStringEscapesRoundTrip(t *testing.T) {
+	r := mustParseRule(t, `ArrayList : maxSize > 1 -> ArrayList "ctl\x10 unié"`)
+	if r.Message != "ctl\x10 unié" {
+		t.Fatalf("message = %q", r.Message)
+	}
+	printed := PrintRule(r)
+	r2, err := ParseRule(printed)
+	if err != nil {
+		t.Fatalf("printed rule %q does not re-parse: %v", printed, err)
+	}
+	if r2.Message != r.Message {
+		t.Fatalf("round trip changed message: %q -> %q", r.Message, r2.Message)
+	}
+	if _, err := ParseRule("ArrayList : maxSize > 1 -> ArrayList \"raw\nnewline\""); err == nil {
+		t.Fatal("raw newline in string accepted")
+	}
+}
+
 func TestActionKindStringAndMetricNames(t *testing.T) {
 	for k, want := range map[ActionKind]string{
 		ActReplace:         "replace",

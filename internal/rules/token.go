@@ -21,8 +21,8 @@ import "fmt"
 
 // Pos is a source position within rule text.
 type Pos struct {
-	Line int
-	Col  int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 }
 
 // String formats the position as "line:col".

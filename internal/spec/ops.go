@@ -149,6 +149,53 @@ func (o Op) Mutating() bool {
 	return false
 }
 
+// opSet is a bitmask over Op values.
+type opSet uint64
+
+func setOf(ops ...Op) opSet {
+	var s opSet
+	for _, op := range ops {
+		s |= 1 << op
+	}
+	return s
+}
+
+// adtOps records which operations the collections library can record on
+// each abstract ADT — the operation surface of List/Set/Map. Comparing a
+// counter outside its ADT's surface is vacuous: it is identically zero.
+var adtOps = map[Kind]opSet{
+	KindList: setOf(Add, AddAt, AddAll, AddAllAt, GetIndex, SetAt,
+		Remove, RemoveAt, RemoveFirst, Contains, IndexOf,
+		ContainsAll, RemoveAll, RetainAll, Iterate, ListIterate,
+		Size, IsEmpty, Clear, Copied),
+	KindSet: setOf(Add, AddAll, Remove, Contains,
+		ContainsAll, RemoveAll, RetainAll, Iterate,
+		Size, IsEmpty, Clear, Copied),
+	KindMap: setOf(GetKey, Put, PutAll, RemoveKey,
+		ContainsKey, ContainsValue, Iterate,
+		Size, IsEmpty, Clear, Copied),
+}
+
+// OpApplies reports whether the operation can ever be recorded on a
+// collection whose kind matches src: for an abstract ADT the ADT's own
+// surface, for a concrete kind its ADT's surface, for Collection the union
+// of all three, and for Iterator nothing (iterator contexts record no
+// collection operations). A rule comparing an inapplicable counter tests a
+// constant zero.
+func OpApplies(op Op, src Kind) bool {
+	if op < 0 || op >= NumOps {
+		return false
+	}
+	switch src {
+	case KindCollection:
+		return true
+	case KindIterator, KindNone:
+		return false
+	}
+	s, ok := adtOps[src.Abstract()]
+	return ok && s&(1<<op) != 0
+}
+
 // AllOps is the derived metric name "#allOps": the sum of every operation
 // counter, including Copied. A collection with #allOps == 0 was never used
 // at all (redundant allocation), and one with #allOps == #copied was never

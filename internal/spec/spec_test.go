@@ -60,6 +60,44 @@ func TestAllOps(t *testing.T) {
 	}
 }
 
+func TestOpApplies(t *testing.T) {
+	cases := []struct {
+		op   Op
+		src  Kind
+		want bool
+	}{
+		{Put, KindList, false}, // map op on a list: constant zero
+		{ContainsKey, KindArrayList, false},
+		{GetIndex, KindList, true},
+		{GetIndex, KindHashSet, false}, // positional access on a set
+		{GetIndex, KindMap, false},
+		{GetKey, KindHashMap, true},
+		{ListIterate, KindLinkedList, true},
+		{ListIterate, KindSet, false},
+		{Add, KindList, true},
+		{Add, KindSet, true},
+		{Add, KindMap, false},
+		{Copied, KindList, true},
+		{Copied, KindSet, true},
+		{Copied, KindMap, true},
+		{Put, KindCollection, true}, // Collection is the union
+		{Add, KindIterator, false},  // iterator contexts record nothing
+		{Size, KindNone, false},
+	}
+	for _, c := range cases {
+		if got := OpApplies(c.op, c.src); got != c.want {
+			t.Errorf("OpApplies(%v, %v) = %v, want %v", c.op, c.src, got, c.want)
+		}
+	}
+	// Every operation is recordable on at least one ADT, so Collection
+	// (the union) admits all of them.
+	for op := Op(0); op < NumOps; op++ {
+		if !OpApplies(op, KindList) && !OpApplies(op, KindSet) && !OpApplies(op, KindMap) {
+			t.Errorf("op %v applies to no ADT", op)
+		}
+	}
+}
+
 func TestKindNamesRoundTrip(t *testing.T) {
 	for _, k := range Kinds() {
 		name := k.String()
