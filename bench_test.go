@@ -371,6 +371,44 @@ func BenchmarkListRandomAccess(b *testing.B) {
 	}
 }
 
+// --- Concurrent sessions: the server workload across worker counts. ---
+
+// BenchmarkConcurrentServer measures one shared Session handling requests
+// from 1/2/4/8 goroutines, under static and dynamic context capture, with
+// and without the online selector. Throughput (req/s) should scale with
+// workers now that the heap and profiler shard their locking; the workers=1
+// rows double as the single-goroutine overhead check against the
+// pre-sharding numbers.
+func BenchmarkConcurrentServer(b *testing.B) {
+	const scale = 60
+	for _, mode := range []alloctx.Mode{alloctx.Static, alloctx.Dynamic} {
+		for _, online := range []bool{false, true} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				mode, online, workers := mode, online, workers
+				name := fmt.Sprintf("%s/online=%v/workers=%d", mode, online, workers)
+				b.Run(name, func(b *testing.B) {
+					var requests int
+					for i := 0; i < b.N; i++ {
+						s := core.NewSession(core.Config{
+							Mode:          mode,
+							Online:        online,
+							OnlineOptions: adaptive.Options{MinEvidence: 32},
+							GCThreshold:   64 << 10,
+							DropSnapshots: true,
+						})
+						if workloads.RunServerWorkers(s.Runtime(), workloads.Baseline, scale, workers) == 0 {
+							b.Fatal("zero checksum")
+						}
+						s.FinalGC()
+						requests += scale * 4
+					}
+					b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "req/s")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkRuleEvaluation measures the rule engine itself over a profiled
 // snapshot (the per-report cost of the Table 2 rule set).
 func BenchmarkRuleEvaluation(b *testing.B) {

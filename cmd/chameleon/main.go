@@ -46,6 +46,7 @@ func main() {
 		plan        = flag.Bool("plan", false, "profile, derive a plan from the report, re-run with it applied (§3.3.2)")
 		extended    = flag.Bool("extended", false, "use the extended rule set (SinglyLinkedList, open addressing)")
 		gen         = flag.Bool("generational", false, "use the generational simulated collector")
+		workers     = flag.Int("workers", 1, "concurrent request workers (server workload only)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,9 @@ func main() {
 	v := workloads.Baseline
 	if *variant == "tuned" {
 		v = workloads.Tuned
+	}
+	if *workers > 1 && spec.Name != workloads.ServerSpec.Name {
+		fatal(fmt.Errorf("-workers %d: only the server workload runs concurrently", *workers))
 	}
 
 	var ctxMode alloctx.Mode
@@ -138,9 +142,14 @@ func main() {
 		Generational: *gen,
 		KeepContexts: *ctxSeries > 0,
 	})
-	fmt.Fprintf(os.Stderr, "chameleon: running %s (%s, scale %d, %s contexts, online=%v)\n",
-		spec.Name, v, *scale, ctxMode, *online)
-	checksum := spec.Run(s.Runtime(), v, *scale)
+	fmt.Fprintf(os.Stderr, "chameleon: running %s (%s, scale %d, %s contexts, online=%v, workers=%d)\n",
+		spec.Name, v, *scale, ctxMode, *online, *workers)
+	var checksum uint64
+	if *workers > 1 {
+		checksum = workloads.RunServerWorkers(s.Runtime(), v, *scale, *workers)
+	} else {
+		checksum = spec.Run(s.Runtime(), v, *scale)
+	}
 	s.FinalGC()
 
 	st := s.Heap.Stats()

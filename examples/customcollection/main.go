@@ -93,6 +93,10 @@ func (c *IntCache) Put(k, v int32) bool {
 			}
 			c.inst.Record(spec.Put)
 			c.inst.NoteSize(c.size)
+			// Push the new footprint into the heap ticket: the GC never
+			// reads the collection itself, it aggregates these cached
+			// readings (the library wrappers do the same in afterMutate).
+			c.ticket.Sync(c.HeapFootprint(), c.KindName())
 			return true
 		}
 		if c.keys[i] == k {

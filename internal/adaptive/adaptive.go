@@ -13,6 +13,7 @@ package adaptive
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"chameleon/internal/collections"
 	"chameleon/internal/profiler"
@@ -51,49 +52,60 @@ func (o Options) fill() Options {
 	return o
 }
 
+// decisionState is one context's cached decision. Its fields are guarded by
+// its own mutex, so hammering one context from many goroutines contends only
+// on that context's state, and distinct contexts do not contend at all.
 type decisionState struct {
+	mu        sync.Mutex
 	allocs    int64
 	decided   bool
+	deciding  bool // a goroutine is evaluating the rules outside the lock
 	nextCheck int64
 	decision  collections.Decision
 	useIt     bool
 }
 
 // Selector is an online implementation selector; it implements
-// collections.Selector and is safe for concurrent use.
+// collections.Selector and is safe for concurrent use. The hot path (a
+// context with a cached decision) takes exactly one mutex acquisition — the
+// context's own — and rule evaluation always runs outside every lock.
 type Selector struct {
-	mu    sync.Mutex
 	prof  *profiler.Profiler
 	opts  Options
-	state map[uint64]*decisionState
+	state sync.Map // uint64 -> *decisionState
 
-	// Replacements counts applied online replacements (for reports).
-	replacements int64
+	// replacements counts applied online replacements (for reports).
+	replacements atomic.Int64
+	// decides counts rule evaluations, to assert exactly-once decisions
+	// under concurrency in tests.
+	decides atomic.Int64
 }
 
 // New builds an online selector reading evidence from prof.
 func New(prof *profiler.Profiler, opts Options) *Selector {
-	return &Selector{prof: prof, opts: opts.fill(), state: make(map[uint64]*decisionState)}
+	return &Selector{prof: prof, opts: opts.fill()}
 }
 
 // Replacements reports how many allocations received a non-default
 // implementation so far.
-func (s *Selector) Replacements() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.replacements
-}
+func (s *Selector) Replacements() int64 { return s.replacements.Load() }
+
+// Decides reports how many rule evaluations have run (one per decided
+// context unless re-evaluation is enabled).
+func (s *Selector) Decides() int64 { return s.decides.Load() }
 
 // Decisions reports the currently cached per-context decisions.
 func (s *Selector) Decisions() map[uint64]collections.Decision {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[uint64]collections.Decision, len(s.state))
-	for k, st := range s.state {
+	out := make(map[uint64]collections.Decision)
+	s.state.Range(func(k, v any) bool {
+		st := v.(*decisionState)
+		st.mu.Lock()
 		if st.decided && st.useIt {
-			out[k] = st.decision
+			out[k.(uint64)] = st.decision
 		}
-	}
+		st.mu.Unlock()
+		return true
+	})
 	return out
 }
 
@@ -105,38 +117,43 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 		// the declared implementation.
 		return def
 	}
-	s.mu.Lock()
-	st, ok := s.state[ctxKey]
+	v, ok := s.state.Load(ctxKey)
 	if !ok {
-		st = &decisionState{nextCheck: s.opts.MinEvidence}
-		s.state[ctxKey] = st
+		v, _ = s.state.LoadOrStore(ctxKey, &decisionState{nextCheck: s.opts.MinEvidence})
 	}
+	st := v.(*decisionState)
+
+	st.mu.Lock()
 	st.allocs++
 	needDecide := false
-	if st.allocs >= st.nextCheck && (!st.decided || s.opts.ReevaluateEvery > 0) {
+	if !st.deciding && st.allocs >= st.nextCheck && (!st.decided || s.opts.ReevaluateEvery > 0) {
+		// Claim the evaluation: concurrent allocations crossing the
+		// threshold together see deciding=true (or the bumped nextCheck)
+		// and use the cached state, so each crossing evaluates the rules
+		// exactly once.
 		needDecide = true
+		st.deciding = true
 		if s.opts.ReevaluateEvery > 0 {
 			st.nextCheck = st.allocs + s.opts.ReevaluateEvery
 		} else {
 			st.nextCheck = 1 << 62
 		}
 	}
-	s.mu.Unlock()
+	use, dec := st.decided && st.useIt, st.decision
+	st.mu.Unlock()
 
 	if needDecide {
-		dec, use := s.decide(ctxKey, declared, def)
-		s.mu.Lock()
-		st.decided = true
-		st.decision = dec
-		st.useIt = use
-		s.mu.Unlock()
+		s.decides.Add(1)
+		d, u := s.decide(ctxKey, declared, def)
+		st.mu.Lock()
+		st.decided, st.decision, st.useIt, st.deciding = true, d, u, false
+		use, dec = u, d
+		st.mu.Unlock()
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st.decided && st.useIt {
-		s.replacements++
-		return st.decision
+	if use {
+		s.replacements.Add(1)
+		return dec
 	}
 	return def
 }

@@ -1,0 +1,107 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+)
+
+// TestConcurrentSelectDecidesOnce hammers one context's Select from many
+// goroutines right as it crosses MinEvidence: the rules must be evaluated
+// exactly once, and every allocation must get a coherent decision (the
+// declared default or the cached replacement, never a torn state).
+func TestConcurrentSelectDecidesOnce(t *testing.T) {
+	rt, sel, _ := runtimeWithSelector(Options{MinEvidence: 8})
+
+	// Build evidence sequentially: small get-dominated HashMaps, the
+	// ArrayMap-replacement pattern.
+	for i := 0; i < 7; i++ {
+		m := collections.NewHashMap[int, int](rt, At())
+		for j := 0; j < 5; j++ {
+			m.Put(j, j)
+		}
+		for j := 0; j < 50; j++ {
+			m.Get(j % 5)
+		}
+		m.Free()
+	}
+
+	// Cross the threshold from 16 goroutines at once.
+	const goroutines = 16
+	const allocsEach = 64
+	kinds := make([][]spec.Kind, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < allocsEach; i++ {
+				m := collections.NewHashMap[int, int](rt, At())
+				kinds[g] = append(kinds[g], m.Kind())
+				m.Put(1, 1)
+				m.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := sel.Decides(); n != 1 {
+		t.Fatalf("rule evaluations = %d, want exactly 1", n)
+	}
+	if len(sel.Decisions()) != 1 {
+		t.Fatalf("cached decisions = %d, want 1", len(sel.Decisions()))
+	}
+	// Every allocation got either the declared kind (decision not yet
+	// cached) or the replacement — and once a goroutine sees the
+	// replacement it never reverts.
+	for g, ks := range kinds {
+		seenReplacement := false
+		for i, k := range ks {
+			switch k {
+			case spec.KindArrayMap:
+				seenReplacement = true
+			case spec.KindHashMap:
+				if seenReplacement {
+					t.Fatalf("goroutine %d alloc %d reverted to HashMap after ArrayMap", g, i)
+				}
+			default:
+				t.Fatalf("goroutine %d alloc %d got unexpected kind %v", g, i, k)
+			}
+		}
+	}
+	if sel.Replacements() == 0 {
+		t.Fatalf("no allocation received the replacement")
+	}
+}
+
+// TestConcurrentSelectDistinctContexts verifies per-context isolation: N
+// goroutines each hammering their own context decide independently, once
+// each.
+func TestConcurrentSelectDistinctContexts(t *testing.T) {
+	rt, sel, _ := runtimeWithSelector(Options{MinEvidence: 4})
+	const goroutines = 8
+	labels := []string{"ctx.a:1", "ctx.b:2", "ctx.c:3", "ctx.d:4", "ctx.e:5", "ctx.f:6", "ctx.g:7", "ctx.h:8"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				m := collections.NewHashMap[int, int](rt, collections.At(labels[g]))
+				for j := 0; j < 4; j++ {
+					m.Put(j, j)
+				}
+				for j := 0; j < 40; j++ {
+					m.Get(j % 4)
+				}
+				m.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := sel.Decides(); n != goroutines {
+		t.Fatalf("rule evaluations = %d, want %d (one per context)", n, goroutines)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Frame is one resolved stack frame of a context.
@@ -103,30 +104,56 @@ func hashString(s string) uint64 {
 	return h
 }
 
-// Table interns contexts. It is safe for concurrent use.
+// Table interns contexts. It is safe for concurrent use; the table is
+// read-mostly (every context after its first capture is a pure lookup), so
+// it is backed by a sync.Map and repeat captures take no lock at all.
 type Table struct {
-	mu    sync.Mutex
-	byKey map[uint64]*Context
+	byKey sync.Map // uint64 -> *Context
+
+	// statics memoizes Static lookups by label. The set of static labels
+	// is small and fixed (one per annotated call site), so it is a
+	// copy-on-write map: the hot path — every allocation in static mode —
+	// is one atomic pointer load and one built-in map access, with no
+	// label re-hashing and no allocation.
+	statics  atomic.Pointer[map[string]*Context]
+	staticMu sync.Mutex
 }
 
 // NewTable returns an empty context table.
 func NewTable() *Table {
-	return &Table{byKey: make(map[uint64]*Context)}
+	return &Table{}
 }
 
 // Static interns a pre-resolved context by label. This is the cheap "VM
 // support" capture mode: the allocation site knows its own identity and no
 // stack walk happens.
 func (t *Table) Static(label string) *Context {
-	key := hashString("static:" + label)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if c, ok := t.byKey[key]; ok {
-		return c
+	if m := t.statics.Load(); m != nil {
+		if c, ok := (*m)[label]; ok {
+			return c
+		}
 	}
-	c := &Context{key: key, label: label}
-	t.byKey[key] = c
-	return c
+	return t.staticSlow(label)
+}
+
+func (t *Table) staticSlow(label string) *Context {
+	key := hashString("static:" + label)
+	c, ok := t.byKey.Load(key)
+	if !ok {
+		c, _ = t.byKey.LoadOrStore(key, &Context{key: key, label: label})
+	}
+	ctx := c.(*Context)
+	t.staticMu.Lock()
+	nm := make(map[string]*Context, 8)
+	if old := t.statics.Load(); old != nil {
+		for s, v := range *old {
+			nm[s] = v
+		}
+	}
+	nm[label] = ctx
+	t.statics.Store(&nm)
+	t.staticMu.Unlock()
+	return ctx
 }
 
 // CaptureDynamic walks the caller's stack, skipping skip frames above the
@@ -147,15 +174,12 @@ func (t *Table) CaptureDynamic(skip, depth int) *Context {
 	n := runtime.Callers(skip+2, pcbuf[:depth])
 	pcs := pcbuf[:n]
 	key := hashPCs(pcs)
-	t.mu.Lock()
-	if c, ok := t.byKey[key]; ok {
-		t.mu.Unlock()
-		return c
+	if c, ok := t.byKey.Load(key); ok {
+		return c.(*Context)
 	}
-	t.mu.Unlock()
 
-	// Symbolize outside the lock; duplicate work on a race is harmless
-	// because interning below is first-writer-wins.
+	// Symbolize before interning; duplicate work on a race is harmless
+	// because LoadOrStore is first-writer-wins.
 	frames := make([]Frame, 0, n)
 	it := runtime.CallersFrames(pcs)
 	for {
@@ -165,29 +189,23 @@ func (t *Table) CaptureDynamic(skip, depth int) *Context {
 			break
 		}
 	}
-	c := &Context{key: key, frames: frames}
-	t.mu.Lock()
-	if prior, ok := t.byKey[key]; ok {
-		c = prior
-	} else {
-		t.byKey[key] = c
-	}
-	t.mu.Unlock()
-	return c
+	c, _ := t.byKey.LoadOrStore(key, &Context{key: key, frames: frames})
+	return c.(*Context)
 }
 
 // Lookup reports the interned context for key, or nil.
 func (t *Table) Lookup(key uint64) *Context {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.byKey[key]
+	if c, ok := t.byKey.Load(key); ok {
+		return c.(*Context)
+	}
+	return nil
 }
 
 // Len reports the number of interned contexts.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.byKey)
+	n := 0
+	t.byKey.Range(func(any, any) bool { n++; return true })
+	return n
 }
 
 // trimFunc shortens "chameleon/internal/workloads.(*TVLA).step" to
@@ -229,23 +247,24 @@ func (m Mode) String() string {
 // Sampler decides, deterministically, whether a given allocation should
 // capture its context. A rate of n captures 1 in n allocations; rates <= 1
 // capture everything. The zero value captures everything.
+//
+// The counter is atomic, so one Sampler may be shared by concurrently
+// allocating goroutines: in aggregate exactly 1 in n allocations samples
+// (every n-th increment fires), though which goroutine's allocation fires
+// depends on interleaving. Single-threaded behaviour is unchanged — the
+// first capture happens on the rate-th call.
 type Sampler struct {
-	rate  int
-	count int
+	rate  int64
+	count atomic.Int64
 }
 
 // NewSampler returns a sampler with the given 1-in-rate policy.
-func NewSampler(rate int) *Sampler { return &Sampler{rate: rate} }
+func NewSampler(rate int) *Sampler { return &Sampler{rate: int64(rate)} }
 
 // Sample reports whether this allocation should capture context.
 func (s *Sampler) Sample() bool {
 	if s == nil || s.rate <= 1 {
 		return true
 	}
-	s.count++
-	if s.count >= s.rate {
-		s.count = 0
-		return true
-	}
-	return false
+	return s.count.Add(1)%s.rate == 0
 }

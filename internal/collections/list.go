@@ -113,12 +113,11 @@ func NewListFrom[T comparable](rt *Runtime, src *List[T], opts ...Option) *List[
 	}
 	l := newList[T](rt, rt.resolveContext(&o, src.declared), src.declared, &o)
 	src.recordRead(spec.Copied)
-	pre := l.liveBytes()
 	src.impl.each(func(v T) bool {
 		l.impl.add(v)
 		return true
 	})
-	l.afterMutate(spec.AddAll, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.AddAll, l.impl.size())
 	return l
 }
 
@@ -146,53 +145,42 @@ func (l *List[T]) Kind() spec.Kind { return l.impl.kind() }
 // Declared reports the kind the program declared at the allocation site.
 func (l *List[T]) Declared() spec.Kind { return l.declared }
 
-func (l *List[T]) liveBytes() int64 {
-	if l.ticket == nil {
-		return 0
-	}
-	return l.HeapFootprint().Live
-}
-
 // Free releases the list: its heap space is reclaimed and its usage record
 // is folded into its allocation context.
 func (l *List[T]) Free() { l.free() }
 
 // Add appends v.
 func (l *List[T]) Add(v T) {
-	pre := l.liveBytes()
 	l.impl.add(v)
-	l.afterMutate(spec.Add, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.Add, l.impl.size())
 }
 
 // AddAt inserts v at index i.
 func (l *List[T]) AddAt(i int, v T) {
-	pre := l.liveBytes()
 	l.impl.addAt(i, v)
-	l.afterMutate(spec.AddAt, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.AddAt, l.impl.size())
 }
 
 // AddAll appends every element of src, recording the copy interaction on
 // both sides (§3.2.2).
 func (l *List[T]) AddAll(src *List[T]) {
 	src.recordRead(spec.Copied)
-	pre := l.liveBytes()
 	src.impl.each(func(v T) bool {
 		l.impl.add(v)
 		return true
 	})
-	l.afterMutate(spec.AddAll, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.AddAll, l.impl.size())
 }
 
 // AddAllAt inserts every element of src starting at index i.
 func (l *List[T]) AddAllAt(i int, src *List[T]) {
 	src.recordRead(spec.Copied)
-	pre := l.liveBytes()
 	src.impl.each(func(v T) bool {
 		l.impl.addAt(i, v)
 		i++
 		return true
 	})
-	l.afterMutate(spec.AddAllAt, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.AddAllAt, l.impl.size())
 }
 
 // Get returns the element at index i (the profiled "#get(int)" operation).
@@ -203,17 +191,15 @@ func (l *List[T]) Get(i int) T {
 
 // Set replaces the element at index i, returning the previous value.
 func (l *List[T]) Set(i int, v T) T {
-	pre := l.liveBytes()
 	old := l.impl.set(i, v)
-	l.afterMutate(spec.SetAt, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.SetAt, l.impl.size())
 	return old
 }
 
 // RemoveAt removes and returns the element at index i.
 func (l *List[T]) RemoveAt(i int) T {
-	pre := l.liveBytes()
 	old := l.impl.removeAt(i)
-	l.afterMutate(spec.RemoveAt, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.RemoveAt, l.impl.size())
 	return old
 }
 
@@ -223,17 +209,15 @@ func (l *List[T]) RemoveFirst() (v T, ok bool) {
 		l.recordRead(spec.RemoveFirst)
 		return v, false
 	}
-	pre := l.liveBytes()
 	v = l.impl.removeAt(0)
-	l.afterMutate(spec.RemoveFirst, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.RemoveFirst, l.impl.size())
 	return v, true
 }
 
 // Remove removes the first occurrence of v, reporting whether it was found.
 func (l *List[T]) Remove(v T) bool {
-	pre := l.liveBytes()
 	ok := l.impl.remove(v)
-	l.afterMutate(spec.Remove, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.Remove, l.impl.size())
 	return ok
 }
 
@@ -256,7 +240,6 @@ func (l *List[T]) ContainsAll(src *List[T]) bool {
 // whether the list changed.
 func (l *List[T]) RemoveAll(src *List[T]) bool {
 	src.recordRead(spec.Copied)
-	pre := l.liveBytes()
 	changed := false
 	src.impl.each(func(v T) bool {
 		for l.impl.remove(v) {
@@ -264,7 +247,7 @@ func (l *List[T]) RemoveAll(src *List[T]) bool {
 		}
 		return true
 	})
-	l.afterMutate(spec.RemoveAll, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.RemoveAll, l.impl.size())
 	return changed
 }
 
@@ -272,7 +255,6 @@ func (l *List[T]) RemoveAll(src *List[T]) bool {
 // list changed.
 func (l *List[T]) RetainAll(src *List[T]) bool {
 	src.recordRead(spec.Copied)
-	pre := l.liveBytes()
 	changed := false
 	for i := l.impl.size() - 1; i >= 0; i-- {
 		if src.impl.indexOf(l.impl.get(i)) < 0 {
@@ -280,7 +262,7 @@ func (l *List[T]) RetainAll(src *List[T]) bool {
 			changed = true
 		}
 	}
-	l.afterMutate(spec.RetainAll, l.impl.size(), pre, l.liveBytes())
+	l.afterMutate(spec.RetainAll, l.impl.size())
 	return changed
 }
 
@@ -313,9 +295,8 @@ func (l *List[T]) Capacity() int { return l.impl.capacity() }
 
 // Clear removes all elements.
 func (l *List[T]) Clear() {
-	pre := l.liveBytes()
 	l.impl.clear()
-	l.afterMutate(spec.Clear, 0, pre, l.liveBytes())
+	l.afterMutate(spec.Clear, 0)
 }
 
 // Iterator returns an iterator over a snapshot of the elements.

@@ -109,33 +109,24 @@ func (mp *Map[K, V]) Kind() spec.Kind { return mp.impl.kind() }
 // Declared reports the kind declared at the allocation site.
 func (mp *Map[K, V]) Declared() spec.Kind { return mp.declared }
 
-func (mp *Map[K, V]) liveBytes() int64 {
-	if mp.ticket == nil {
-		return 0
-	}
-	return mp.HeapFootprint().Live
-}
-
 // Free releases the map.
 func (mp *Map[K, V]) Free() { mp.free() }
 
 // Put associates v with k, returning the previous value if one existed.
 func (mp *Map[K, V]) Put(k K, v V) (old V, replaced bool) {
-	pre := mp.liveBytes()
 	old, replaced = mp.impl.put(k, v)
-	mp.afterMutate(spec.Put, mp.impl.size(), pre, mp.liveBytes())
+	mp.afterMutate(spec.Put, mp.impl.size())
 	return old, replaced
 }
 
 // PutAll copies every entry of src into mp.
 func (mp *Map[K, V]) PutAll(src *Map[K, V]) {
 	src.recordRead(spec.Copied)
-	pre := mp.liveBytes()
 	src.impl.each(func(k K, v V) bool {
 		mp.impl.put(k, v)
 		return true
 	})
-	mp.afterMutate(spec.PutAll, mp.impl.size(), pre, mp.liveBytes())
+	mp.afterMutate(spec.PutAll, mp.impl.size())
 }
 
 // Get looks up k (the profiled "#get(Object)" operation).
@@ -146,9 +137,8 @@ func (mp *Map[K, V]) Get(k K) (V, bool) {
 
 // Remove deletes the entry for k, returning the removed value.
 func (mp *Map[K, V]) Remove(k K) (V, bool) {
-	pre := mp.liveBytes()
 	v, ok := mp.impl.removeKey(k)
-	mp.afterMutate(spec.RemoveKey, mp.impl.size(), pre, mp.liveBytes())
+	mp.afterMutate(spec.RemoveKey, mp.impl.size())
 	return v, ok
 }
 
@@ -181,9 +171,8 @@ func (mp *Map[K, V]) Capacity() int { return mp.impl.capacity() }
 
 // Clear removes all entries.
 func (mp *Map[K, V]) Clear() {
-	pre := mp.liveBytes()
 	mp.impl.clear()
-	mp.afterMutate(spec.Clear, 0, pre, mp.liveBytes())
+	mp.afterMutate(spec.Clear, 0)
 }
 
 // Iterator returns an iterator over a snapshot of the entries.

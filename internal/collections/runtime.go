@@ -13,6 +13,9 @@
 package collections
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"chameleon/internal/alloctx"
 	"chameleon/internal/heap"
 	"chameleon/internal/profiler"
@@ -67,6 +70,12 @@ type Config struct {
 // Runtime carries the shared state every collection wrapper needs. A nil
 // *Runtime is valid and means "no profiling, no heap simulation, default
 // implementations" — plain library use.
+//
+// A Runtime is safe for concurrent use: allocations from many goroutines may
+// share one Runtime. The tuning knobs (DisableTracking, SetSampleRate,
+// SetSelector) publish copy-on-write state, so calling them while other
+// goroutines allocate is also safe; each allocation sees either the old or
+// the new policy, never a torn mix.
 type Runtime struct {
 	heap     *heap.Heap
 	prof     *profiler.Profiler
@@ -74,11 +83,19 @@ type Runtime struct {
 	mode     alloctx.Mode
 	depth    int
 	sampler  *alloctx.Sampler
-	selector Selector
 	model    heap.SizeModel
-	disabled map[spec.Kind]bool
-	kindRate map[spec.Kind]*alloctx.Sampler
+
+	// mu serializes the (rare) writers of the copy-on-write fields below;
+	// readers load the pointers without locking.
+	mu       sync.Mutex
+	selector atomic.Pointer[selectorBox]
+	disabled atomic.Pointer[map[spec.Kind]bool]
+	kindRate atomic.Pointer[map[spec.Kind]*alloctx.Sampler]
 }
+
+// selectorBox wraps a Selector so a nil selector can be published atomically
+// (atomic.Pointer[Selector] would need a pointer-to-interface at every site).
+type selectorBox struct{ s Selector }
 
 // NewRuntime builds a runtime from cfg.
 func NewRuntime(cfg Config) *Runtime {
@@ -88,11 +105,9 @@ func NewRuntime(cfg Config) *Runtime {
 		contexts: cfg.Contexts,
 		mode:     cfg.Mode,
 		depth:    cfg.Depth,
-		selector: cfg.Selector,
 		model:    heap.Model32,
-		disabled: make(map[spec.Kind]bool),
-		kindRate: make(map[spec.Kind]*alloctx.Sampler),
 	}
+	rt.selector.Store(&selectorBox{s: cfg.Selector})
 	if rt.depth <= 0 {
 		rt.depth = 2
 	}
@@ -117,9 +132,25 @@ func Plain() *Runtime { return NewRuntime(Config{}) }
 // type is observed to be low, CHAMELEON can completely turn off tracking of
 // allocation context for that type").
 func (rt *Runtime) DisableTracking(kind spec.Kind) {
-	if rt != nil {
-		rt.disabled[kind] = true
+	if rt == nil {
+		return
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	next := make(map[spec.Kind]bool)
+	if cur := rt.disabled.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[kind] = true
+	rt.disabled.Store(&next)
+}
+
+// trackingDisabled reports whether context tracking is off for kind.
+func (rt *Runtime) trackingDisabled(kind spec.Kind) bool {
+	m := rt.disabled.Load()
+	return m != nil && (*m)[kind]
 }
 
 // SetSampleRate sets a 1-in-rate dynamic-capture sampling rate for one
@@ -130,17 +161,26 @@ func (rt *Runtime) SetSampleRate(kind spec.Kind, rate int) {
 	if rt == nil {
 		return
 	}
-	if rate <= 1 {
-		delete(rt.kindRate, kind)
-		return
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	next := make(map[spec.Kind]*alloctx.Sampler)
+	if cur := rt.kindRate.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
 	}
-	rt.kindRate[kind] = alloctx.NewSampler(rate)
+	if rate <= 1 {
+		delete(next, kind)
+	} else {
+		next[kind] = alloctx.NewSampler(rate)
+	}
+	rt.kindRate.Store(&next)
 }
 
 // SetSelector installs (or clears) the online implementation selector.
 func (rt *Runtime) SetSelector(s Selector) {
 	if rt != nil {
-		rt.selector = s
+		rt.selector.Store(&selectorBox{s: s})
 	}
 }
 
@@ -216,8 +256,12 @@ func (rt *Runtime) resolveContext(o *allocOpts, declared spec.Kind) *alloctx.Con
 		}
 		return rt.contexts.Static(o.site)
 	case alloctx.Dynamic:
-		if s, ok := rt.kindRate[declared]; ok {
-			if !s.Sample() {
+		var perKind *alloctx.Sampler
+		if m := rt.kindRate.Load(); m != nil {
+			perKind = (*m)[declared]
+		}
+		if perKind != nil {
+			if !perKind.Sample() {
 				return nil
 			}
 		} else if !rt.sampler.Sample() {
@@ -235,33 +279,44 @@ func (rt *Runtime) decide(ctx *alloctx.Context, declared spec.Kind, o *allocOpts
 	if o.forceImpl != spec.KindNone {
 		return Decision{Impl: o.forceImpl, Capacity: o.capacity}
 	}
-	if rt != nil && rt.selector != nil {
-		return rt.selector.Select(ctx.Key(), declared, def)
+	if rt != nil {
+		if box := rt.selector.Load(); box != nil && box.s != nil {
+			return box.s.Select(ctx.Key(), declared, def)
+		}
 	}
 	return def
 }
 
-// base is the state shared by all collection wrappers.
+// base is the state shared by all collection wrappers. A wrapper (and hence
+// its base) is owned by one goroutine at a time; the shared structures it
+// reports into (heap, profiler, runtime policy) are the concurrent-safe parts.
 type base struct {
 	rt     *Runtime
+	coll   heap.Collection
 	inst   *profiler.Instance
 	ticket *heap.Ticket
 	ctxKey uint64
+	// tk is the ticket storage ticket points at when the runtime has a
+	// heap: embedding it in the wrapper header saves one heap object per
+	// collection. It must never be copied (it contains atomics).
+	tk heap.Ticket
 }
 
 // install wires a freshly constructed wrapper (which must implement
 // heap.Collection) into the profiler and heap.
 func (rt *Runtime) install(b *base, c heap.Collection, ctx *alloctx.Context, declared spec.Kind, dec Decision) {
 	b.rt = rt
+	b.coll = c
 	b.ctxKey = ctx.Key()
 	if rt == nil {
 		return
 	}
-	if rt.prof != nil && !rt.disabled[declared] {
+	if rt.prof != nil && !rt.trackingDisabled(declared) {
 		b.inst = rt.prof.OnAlloc(ctx, declared, dec.Impl, dec.Capacity)
 	}
 	if rt.heap != nil {
-		b.ticket = rt.heap.Register(c)
+		rt.heap.RegisterInto(c, &b.tk)
+		b.ticket = &b.tk
 	}
 }
 
@@ -285,15 +340,18 @@ func (b *base) recordRead(op spec.Op) {
 	}
 }
 
-// afterMutate counts a mutating operation, notes the new size, and adjusts
-// the heap's running live estimate by the footprint delta.
-func (b *base) afterMutate(op spec.Op, size int, pre, post int64) {
+// afterMutate counts a mutating operation, notes the new size, and pushes the
+// collection's current footprint into its heap ticket. The push keeps the
+// GC's per-ticket cache exact without the GC ever reading the collection
+// itself — the owning goroutine is the only reader of the backing
+// implementation, so concurrent cycles stay race-free.
+func (b *base) afterMutate(op spec.Op, size int) {
 	if b.inst != nil {
 		b.inst.Record(op)
 		b.inst.NoteSize(size)
 	}
-	if b.ticket != nil && post != pre {
-		b.ticket.Adjust(post - pre)
+	if b.ticket != nil {
+		b.ticket.Sync(b.coll.HeapFootprint(), b.coll.KindName())
 	}
 }
 

@@ -108,33 +108,24 @@ func (s *Set[T]) Kind() spec.Kind { return s.impl.kind() }
 // Declared reports the kind declared at the allocation site.
 func (s *Set[T]) Declared() spec.Kind { return s.declared }
 
-func (s *Set[T]) liveBytes() int64 {
-	if s.ticket == nil {
-		return 0
-	}
-	return s.HeapFootprint().Live
-}
-
 // Free releases the set.
 func (s *Set[T]) Free() { s.free() }
 
 // Add inserts v, reporting whether the set changed.
 func (s *Set[T]) Add(v T) bool {
-	pre := s.liveBytes()
 	added := s.impl.add(v)
-	s.afterMutate(spec.Add, s.impl.size(), pre, s.liveBytes())
+	s.afterMutate(spec.Add, s.impl.size())
 	return added
 }
 
 // AddAll inserts every element of src.
 func (s *Set[T]) AddAll(src *Set[T]) {
 	src.recordRead(spec.Copied)
-	pre := s.liveBytes()
 	src.impl.each(func(v T) bool {
 		s.impl.add(v)
 		return true
 	})
-	s.afterMutate(spec.AddAll, s.impl.size(), pre, s.liveBytes())
+	s.afterMutate(spec.AddAll, s.impl.size())
 }
 
 // ContainsAll reports whether every element of src is in s.
@@ -156,7 +147,6 @@ func (s *Set[T]) ContainsAll(src *Set[T]) bool {
 // changed.
 func (s *Set[T]) RemoveAll(src *Set[T]) bool {
 	src.recordRead(spec.Copied)
-	pre := s.liveBytes()
 	changed := false
 	src.impl.each(func(v T) bool {
 		if s.impl.remove(v) {
@@ -164,7 +154,7 @@ func (s *Set[T]) RemoveAll(src *Set[T]) bool {
 		}
 		return true
 	})
-	s.afterMutate(spec.RemoveAll, s.impl.size(), pre, s.liveBytes())
+	s.afterMutate(spec.RemoveAll, s.impl.size())
 	return changed
 }
 
@@ -172,7 +162,6 @@ func (s *Set[T]) RemoveAll(src *Set[T]) bool {
 // whether s changed.
 func (s *Set[T]) RetainAll(src *Set[T]) bool {
 	src.recordRead(spec.Copied)
-	pre := s.liveBytes()
 	var drop []T
 	s.impl.each(func(v T) bool {
 		if !src.impl.contains(v) {
@@ -183,15 +172,14 @@ func (s *Set[T]) RetainAll(src *Set[T]) bool {
 	for _, v := range drop {
 		s.impl.remove(v)
 	}
-	s.afterMutate(spec.RetainAll, s.impl.size(), pre, s.liveBytes())
+	s.afterMutate(spec.RetainAll, s.impl.size())
 	return len(drop) > 0
 }
 
 // Remove deletes v, reporting whether it was present.
 func (s *Set[T]) Remove(v T) bool {
-	pre := s.liveBytes()
 	ok := s.impl.remove(v)
-	s.afterMutate(spec.Remove, s.impl.size(), pre, s.liveBytes())
+	s.afterMutate(spec.Remove, s.impl.size())
 	return ok
 }
 
@@ -218,9 +206,8 @@ func (s *Set[T]) Capacity() int { return s.impl.capacity() }
 
 // Clear removes all elements.
 func (s *Set[T]) Clear() {
-	pre := s.liveBytes()
 	s.impl.clear()
-	s.afterMutate(spec.Clear, 0, pre, s.liveBytes())
+	s.afterMutate(spec.Clear, 0)
 }
 
 // Iterator returns an iterator over a snapshot of the elements.

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/collections"
+	"chameleon/internal/profiler"
+	"chameleon/internal/workloads"
+)
+
+// runServerSession drives the server workload through one fully wired
+// Session with the given worker count.
+func runServerSession(t *testing.T, workers int) (*Session, uint64) {
+	t.Helper()
+	s := NewSession(Config{Mode: alloctx.Static, GCThreshold: 64 << 10})
+	sum := workloads.RunServerWorkers(s.Runtime(), workloads.Baseline, 120, workers)
+	s.FinalGC()
+	return s, sum
+}
+
+// TestConcurrentSessionMatchesSequential drives the full pipeline —
+// wrappers, profiler, heap, GC — from 8 goroutines sharing one Session and
+// checks that every schedule-independent statistic matches the
+// single-goroutine run exactly. Run under -race this is also the pipeline's
+// data-race test.
+func TestConcurrentSessionMatchesSequential(t *testing.T) {
+	seq, seqSum := runServerSession(t, 1)
+	con, conSum := runServerSession(t, 8)
+
+	if seqSum != conSum {
+		t.Fatalf("checksum diverged: sequential %#x, concurrent %#x", seqSum, conSum)
+	}
+
+	// Every request frees what it allocates, so both heaps must drain.
+	if n := con.Heap.LiveCollections(); n != 0 {
+		t.Fatalf("concurrent run leaked %d collections", n)
+	}
+	if b := con.Heap.LiveBytes(); b != 0 {
+		t.Fatalf("concurrent run leaked %d live bytes", b)
+	}
+	if n := con.Prof.LiveInstances(); n != 0 {
+		t.Fatalf("concurrent run leaked %d profiler instances", n)
+	}
+
+	seqStats, conStats := seq.Heap.Stats(), con.Heap.Stats()
+	if seqStats.TotalAllocated != conStats.TotalAllocated {
+		t.Fatalf("allocated volume diverged: %d vs %d", seqStats.TotalAllocated, conStats.TotalAllocated)
+	}
+	// Cycle triggers are claimed by threshold crossing, so the same volume
+	// must produce the same cycle count regardless of interleaving.
+	if seqStats.NumGC != conStats.NumGC {
+		t.Fatalf("GC cycles diverged: %d vs %d", seqStats.NumGC, conStats.NumGC)
+	}
+
+	// Per-context trace aggregates are sums of per-instance integers, so
+	// they are schedule-independent even though fold order differs.
+	index := func(ps []*profiler.Profile) map[string]*profiler.Profile {
+		m := make(map[string]*profiler.Profile, len(ps))
+		for _, p := range ps {
+			m[p.Context.String()] = p
+		}
+		return m
+	}
+	seqProfiles := index(seq.Prof.Snapshot())
+	conProfiles := index(con.Prof.Snapshot())
+	if len(seqProfiles) != len(conProfiles) {
+		t.Fatalf("context count diverged: %d vs %d", len(seqProfiles), len(conProfiles))
+	}
+	for label, sp := range seqProfiles {
+		cp, ok := conProfiles[label]
+		if !ok {
+			t.Fatalf("context %q missing from the concurrent run", label)
+		}
+		if sp.Allocs != cp.Allocs {
+			t.Errorf("%s: allocs %d vs %d", label, sp.Allocs, cp.Allocs)
+		}
+		if sp.Live != 0 || cp.Live != 0 {
+			t.Errorf("%s: live %d vs %d, want 0", label, sp.Live, cp.Live)
+		}
+		if sp.OpTotals != cp.OpTotals {
+			t.Errorf("%s: op totals diverged:\n  seq %v\n  con %v", label, sp.OpTotals, cp.OpTotals)
+		}
+		if sp.EmptyIterators != cp.EmptyIterators {
+			t.Errorf("%s: empty iterators %d vs %d", label, sp.EmptyIterators, cp.EmptyIterators)
+		}
+	}
+}
+
+// TestConcurrentOnlineSession runs the concurrent server with the online
+// selector enabled: replacements must not corrupt results, and the session
+// must still drain.
+func TestConcurrentOnlineSession(t *testing.T) {
+	s := NewSession(Config{Mode: alloctx.Static, Online: true, GCThreshold: 64 << 10})
+	sum := workloads.RunServerWorkers(s.Runtime(), workloads.Baseline, 120, 8)
+	s.FinalGC()
+
+	want := workloads.RunServer(collections.Plain(), workloads.Baseline, 120)
+	if sum != want {
+		t.Fatalf("online concurrent checksum %#x, plain %#x", sum, want)
+	}
+	if n := s.Heap.LiveCollections(); n != 0 {
+		t.Fatalf("leaked %d collections", n)
+	}
+	if s.Selector.Decides() == 0 {
+		t.Fatalf("online selector never evaluated a context")
+	}
+}

@@ -1,0 +1,133 @@
+package heap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHeapConcurrentRegisterSyncFree drives register/sync/free/data churn
+// from many goroutines and checks the aggregate invariants: the heap drains
+// to zero, the allocation volume is the exact sum of what the goroutines
+// allocated, and the cycle count matches what that volume dictates.
+func TestHeapConcurrentRegisterSyncFree(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 500
+		threshold  = 8 << 10
+	)
+	h := New(Config{GCThreshold: threshold})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c := &fakeColl{f: Footprint{Live: 64, Used: 32, Core: 16}, kind: "X", ctx: uint64(g + 1)}
+				tk := h.Register(c)
+				c.f = Footprint{Live: 128, Used: 64, Core: 32}
+				tk.Sync(c.f, "")
+				d := h.AllocData(256)
+				d.Free()
+				tk.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := h.LiveCollections(); n != 0 {
+		t.Fatalf("live collections = %d, want 0", n)
+	}
+	if b := h.LiveBytes(); b != 0 {
+		t.Fatalf("live bytes = %d, want 0", b)
+	}
+	st := h.Stats()
+	// Each round: 64 register + 64 sync growth + 256 data = 384 bytes.
+	want := int64(goroutines * rounds * 384)
+	if st.TotalAllocated != want {
+		t.Fatalf("allocated = %d, want %d", st.TotalAllocated, want)
+	}
+	if got, wantGC := st.NumGC, int(want/threshold); got != wantGC {
+		t.Fatalf("NumGC = %d, want %d (threshold crossings are claimed exactly once)", got, wantGC)
+	}
+	if st.PeakLive <= 0 || st.PeakLive > int64(goroutines)*(128+256) {
+		t.Fatalf("peak live = %d outside [1, %d]", st.PeakLive, goroutines*(128+256))
+	}
+}
+
+// TestHeapConcurrentGenerational runs the same churn under the generational
+// collector: minor/major cadence plus promotion must stay race-free and
+// drain cleanly.
+func TestHeapConcurrentGenerational(t *testing.T) {
+	h := New(Config{GCThreshold: 8 << 10, Generational: true, MinorPerMajor: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tickets []*Ticket
+			var colls []*fakeColl
+			for i := 0; i < 400; i++ {
+				c := &fakeColl{f: Footprint{Live: 64}, kind: "Y"}
+				colls = append(colls, c)
+				tickets = append(tickets, h.Register(c))
+				if len(tickets) > 16 {
+					// Free the oldest: by now it likely got promoted.
+					tickets[0].Free()
+					tickets, colls = tickets[1:], colls[1:]
+				}
+				h.AllocData(128).Free()
+			}
+			for _, tk := range tickets {
+				tk.Free()
+			}
+			_ = colls
+		}()
+	}
+	wg.Wait()
+	if n, b := h.LiveCollections(), h.LiveBytes(); n != 0 || b != 0 {
+		t.Fatalf("generational concurrent leak: %d collections, %d bytes", n, b)
+	}
+	st := h.Stats()
+	if st.NumGC == 0 || st.NumMinorGC == 0 {
+		t.Fatalf("expected both minor and major cycles, got %d/%d", st.NumMinorGC, st.NumGC)
+	}
+}
+
+// TestHeapConcurrentSnapshotsDuringChurn takes Stats and runs explicit GCs
+// while other goroutines churn — the reader side of the locking model.
+func TestHeapConcurrentSnapshotsDuringChurn(t *testing.T) {
+	h := New(Config{GCThreshold: 1 << 40, KeepSnapshots: true})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := &fakeColl{f: Footprint{Live: 64}, kind: "Z"}
+				tk := h.Register(c)
+				c.f.Live = 96
+				tk.Sync(c.f, "")
+				tk.Free()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		h.GC()
+		st := h.Stats()
+		if st.PeakLive < 0 || h.LiveBytes() < 0 {
+			t.Errorf("negative estimate under churn: peak=%d live=%d", st.PeakLive, h.LiveBytes())
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if h.LiveBytes() != 0 {
+		t.Fatalf("drained churn left %d bytes", h.LiveBytes())
+	}
+}

@@ -16,7 +16,7 @@ func TestGenerationalMinorMajorCadence(t *testing.T) {
 }
 
 func TestGenerationalPromotion(t *testing.T) {
-	h := New(Config{GCThreshold: 1 << 40, Generational: true})
+	h := New(Config{GCThreshold: 1 << 40, Generational: true, KeepSnapshots: true})
 	c := &fakeColl{f: Footprint{Live: 64, Used: 64, Core: 32}, kind: "X"}
 	tk := h.Register(c)
 	if tk.region != 0 {
@@ -33,16 +33,18 @@ func TestGenerationalPromotion(t *testing.T) {
 	if h.Stats().PromotedBytes != 64 {
 		t.Fatalf("promoted bytes = %d", h.Stats().PromotedBytes)
 	}
-	// Subsequent minor cycles no longer walk it; its footprint change is
-	// only observed at a major cycle.
+	// Footprint changes are pushed through Sync and reflected immediately
+	// in the running estimate; only major cycles record Table 3
+	// statistics, and they cover the old region too.
 	c.f = Footprint{Live: 128, Used: 128, Core: 64}
-	h.MinorGC()
-	if h.LiveBytes() != 64 {
-		t.Fatalf("minor cycle walked the old region: live = %d", h.LiveBytes())
+	tk.Sync(c.f, "")
+	if h.LiveBytes() != 128 {
+		t.Fatalf("Sync not reflected: live = %d", h.LiveBytes())
 	}
 	h.GC()
-	if h.LiveBytes() != 128 {
-		t.Fatalf("major cycle missed the old region: live = %d", h.LiveBytes())
+	snaps := h.Snapshots()
+	if last := snaps[len(snaps)-1]; last.Collections.Live != 128 {
+		t.Fatalf("major cycle missed the promoted collection: %+v", last.Collections)
 	}
 	tk.Free()
 	if h.LiveCollections() != 0 || h.LiveBytes() != 0 {
@@ -102,16 +104,19 @@ func TestGenerationalStatsMatchFullCollector(t *testing.T) {
 	}
 }
 
-func TestGenerationalMinorRefreshesYoungEstimate(t *testing.T) {
+func TestSyncKeepsEstimateExact(t *testing.T) {
 	h := New(Config{GCThreshold: 1 << 40, Generational: true})
 	c := &fakeColl{f: Footprint{Live: 50}, kind: "X"}
 	tk := h.Register(c)
-	c.f.Live = 90 // grew without an Adjust call (drift)
-	h.MinorGC()
+	c.f.Live = 90
+	tk.Sync(c.f, "") // owners push semantic-map changes; no GC walk needed
 	if h.LiveBytes() != 90 {
-		t.Fatalf("minor cycle did not resync young estimate: %d", h.LiveBytes())
+		t.Fatalf("Sync did not update the estimate: %d", h.LiveBytes())
 	}
 	tk.Free()
+	if h.LiveBytes() != 0 {
+		t.Fatalf("free after Sync leaked: %d", h.LiveBytes())
+	}
 }
 
 func TestOOMUnderGenerationalMode(t *testing.T) {

@@ -4,16 +4,24 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Collection is the semantic-map interface: any object registered with the
 // heap that can report its own footprint. The paper's semantic ADT maps
 // (§4.3.2) describe, per collection type, how the collector finds the
 // object's size, used size, and allocation-context pointer; here that
-// knowledge lives in each implementation's HeapFootprint method, and the
-// simulated collector is parametric over it exactly as the paper's
-// collector is parametric over the maps (custom collection implementations
-// plug in by implementing this interface).
+// knowledge lives in each implementation's HeapFootprint method (custom
+// collection implementations plug in by implementing this interface).
+//
+// Under concurrent allocation the collector cannot safely consult a
+// semantic map while another goroutine mutates the collection, so the
+// heap reads footprints from each Ticket's cache instead: owners push a
+// fresh semantic-map reading through Ticket.Sync (or Ticket.Adjust) on
+// every footprint change, and GC cycles aggregate the cached readings.
+// HeapFootprint is therefore called by the heap only once, at Register
+// time, on the registering goroutine.
 type Collection interface {
 	// HeapFootprint reports the current live/used/core bytes of the
 	// collection and all its internal objects under the heap's size model.
@@ -112,11 +120,31 @@ type entry struct {
 	ticket *Ticket
 }
 
+// numShards is the number of live-registry shards; a power of two so the
+// round-robin shard choice is a mask. Sixteen shards keep Register / Free /
+// Sync contention negligible up to well past 16 allocating goroutines
+// while keeping the GC walk's lock count trivial.
+const numShards = 16
+
+// shard is one slice of the live-collection registry. Its mutex guards the
+// regions and the membership fields of every ticket in it (slot, region,
+// age); the cached footprint itself is atomic and needs no lock.
+type shard struct {
+	mu      sync.Mutex
+	regions [2][]entry // 0 young, 1 old
+}
+
 // Heap is a simulated managed heap. It tracks plain application data by
 // size, tracks collections through their semantic maps, triggers GC cycles
 // by allocation volume, and maintains the aggregate statistics the
-// Chameleon profiler consumes. Heap is not safe for concurrent use; each
-// workload run owns one Heap.
+// Chameleon profiler consumes.
+//
+// Heap is safe for concurrent use: counters on the allocation path are
+// atomic, the live-collection registry is sharded, and GC cycles run under
+// a single writer lock (see docs/CONCURRENCY.md for the full locking
+// model). Individual collections remain single-owner: one goroutine may
+// mutate a given collection at a time, which is what lets the heap read
+// footprints from ticket caches instead of stopping the world.
 type Heap struct {
 	model       SizeModel
 	gcThreshold int64
@@ -124,22 +152,32 @@ type Heap struct {
 	keepSnaps   bool
 	keepCtx     bool
 
-	// regions hold the live collection registry: region 0 is young,
-	// region 1 is old. The non-generational collector keeps everything in
-	// young and always walks both.
-	regions   [2][]entry
-	dataLive  int64 // live bytes of plain application data
-	collLive  int64 // running estimate of live collection bytes
-	peakLive  int64 // high-water mark of dataLive+collLive
-	sinceGC   int64 // bytes allocated since the last cycle
-	allocated int64 // total bytes ever allocated
-	numGC     int
-
 	generational  bool
 	minorPerMajor int
 	limit         int64
-	gcTriggers    int
-	numMinorGC    int
+
+	// Allocation-path accounting: contention-free atomics. Total allocation
+	// volume is not a counter of its own — it is derived as
+	// sinceGC + gcThreshold*cycleClaims, which keeps the per-allocation
+	// hot path at a single atomic add (sinceGC). The live collection count
+	// is likewise derived by summing shard lengths on demand.
+	dataLive    atomic.Int64 // live bytes of plain application data
+	collLive    atomic.Int64 // running estimate of live collection bytes
+	peakLive    atomic.Int64 // high-water mark of dataLive+collLive
+	sinceGC     atomic.Int64 // bytes allocated since the last claimed cycle
+	cycleClaims atomic.Int64 // threshold crossings claimed by maybeGC
+	nextShard   atomic.Uint64
+
+	// shards hold the live collection registry.
+	shards [numShards]shard
+
+	// gcMu is the single-writer GC lock: one cycle (minor or major) runs
+	// at a time, and it also guards the cross-cycle aggregates below.
+	gcMu       sync.Mutex
+	numGC      int
+	gcTriggers int
+	numMinorGC int
+
 	promotedBytes int64
 
 	// Aggregates across cycles (the Total/Max columns of Table 1).
@@ -181,56 +219,178 @@ func (h *Heap) Model() SizeModel { return h.model }
 
 // Ticket is a handle to a registered live collection; freeing it removes
 // the collection from the live set (the simulator's analogue of the object
-// becoming unreachable).
+// becoming unreachable). The ticket caches the collection's last reported
+// semantic-map reading (footprint, kind, context), which is what GC cycles
+// aggregate; owners keep it fresh via Sync or Adjust.
+//
+// A ticket is owned by the goroutine that owns its collection: Sync,
+// Adjust and Free may not be called concurrently with each other.
 type Ticket struct {
 	h      *Heap
+	sh     *shard
 	slot   int
-	live   int64 // last reported live bytes, for the running estimate
-	region int8  // 0 young, 1 old
-	age    int8  // minor cycles survived (generational mode)
+	region int8 // 0 young, 1 old
+	age    int8 // minor cycles survived (generational mode)
+
+	// Cached semantic-map reading. The owner is the only writer; GC cycles
+	// read the fields atomically, so Sync never takes a lock. A cycle that
+	// overlaps a Sync may see live/used/core from different readings — that
+	// is within the fuzzy-snapshot contract, and readings are exact whenever
+	// the heap is quiesced.
+	live   atomic.Int64
+	used   atomic.Int64
+	core   atomic.Int64
+	kind   atomic.Pointer[string]
+	ctxKey uint64
+}
+
+// kindInterns interns kind-name strings so tickets can publish kind changes
+// as pointer stores without allocating per registration. The set of kinds
+// is tiny and fixed, so it is a copy-on-write map: the read path — every
+// Register — is one atomic pointer load and a map lookup, no locked
+// instructions and no allocation.
+var (
+	kindInterns atomic.Pointer[map[string]*string]
+	kindMu      sync.Mutex
+)
+
+func internKind(k string) *string {
+	if m := kindInterns.Load(); m != nil {
+		if p, ok := (*m)[k]; ok {
+			return p
+		}
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	nm := make(map[string]*string, 8)
+	if old := kindInterns.Load(); old != nil {
+		for s, p := range *old {
+			nm[s] = p
+		}
+	}
+	if p, ok := nm[k]; ok {
+		return p
+	}
+	p := &k
+	nm[k] = p
+	kindInterns.Store(&nm)
+	return p
 }
 
 // Register adds a collection to the live set (young region) and returns
-// its ticket.
+// its ticket. The collection's semantic map is consulted once, on the
+// calling goroutine; later changes must be pushed through Sync or Adjust.
 func (h *Heap) Register(c Collection) *Ticket {
-	t := &Ticket{h: h, slot: len(h.regions[0])}
-	h.regions[0] = append(h.regions[0], entry{coll: c, ticket: t})
+	t := new(Ticket)
+	h.RegisterInto(c, t)
+	return t
+}
+
+// RegisterInto is Register without the ticket allocation: it initializes t
+// (which must be zero or previously freed) in place and adds it to the live
+// set. The collection wrappers embed their ticket in the wrapper header,
+// saving one heap object per collection — the difference is visible on
+// churn-heavy workloads that allocate millions of short-lived collections.
+func (h *Heap) RegisterInto(c Collection, t *Ticket) {
 	f := c.HeapFootprint()
-	t.live = f.Live
-	h.collLive += f.Live
+	t.h = h
+	t.ctxKey = c.ContextKey()
+	t.region = 0
+	t.age = 0
+	t.live.Store(f.Live)
+	t.used.Store(f.Used)
+	t.core.Store(f.Core)
+	t.kind.Store(internKind(c.KindName()))
+	sh := &h.shards[h.nextShard.Add(1)&(numShards-1)]
+	t.sh = sh
+	sh.mu.Lock()
+	t.slot = len(sh.regions[0])
+	sh.regions[0] = append(sh.regions[0], entry{coll: c, ticket: t})
+	sh.mu.Unlock()
+	h.collLive.Add(f.Live)
 	h.bumpPeak()
 	h.Allocated(f.Live)
-	return t
 }
 
 // Free removes the ticketed collection from the live set. Freeing twice is
 // a no-op.
 func (t *Ticket) Free() {
 	h := t.h
-	if h == nil || t.slot < 0 {
+	if h == nil {
 		return
 	}
-	region := h.regions[t.region]
+	sh := t.sh
+	sh.mu.Lock()
+	if t.slot < 0 {
+		sh.mu.Unlock()
+		return
+	}
+	region := sh.regions[t.region]
 	last := len(region) - 1
 	moved := region[last]
 	region[t.slot] = moved
 	moved.ticket.slot = t.slot
-	h.regions[t.region] = region[:last]
-	h.collLive -= t.live
+	region[last] = entry{}
+	sh.regions[t.region] = region[:last]
 	t.slot = -1
+	sh.mu.Unlock()
 	t.h = nil
+	h.collLive.Add(-t.live.Load())
 }
 
 // Adjust records a change of delta live bytes for the ticketed collection
-// (called by implementations when they grow or shrink). Positive deltas
-// count as allocation volume and may trigger a GC cycle.
+// (called by integrations when they grow or shrink). Positive deltas count
+// as allocation volume and may trigger a GC cycle. Adjust shifts only the
+// live measure of the cached footprint; integrations that track used/core
+// bytes should prefer Sync.
 func (t *Ticket) Adjust(delta int64) {
 	h := t.h
 	if h == nil {
 		return
 	}
-	t.live += delta
-	h.collLive += delta
+	t.live.Add(delta)
+	h.collLive.Add(delta)
+	if delta > 0 {
+		h.bumpPeak()
+		h.Allocated(delta)
+	}
+}
+
+// Sync pushes a fresh semantic-map reading for the ticketed collection:
+// the full live/used/core footprint and (when non-empty) the current
+// implementation kind name, which internal adaptation may have changed.
+// The collection wrappers call this after every mutation that changes the
+// footprint, which is what keeps GC-cycle statistics exact without the
+// collector ever touching collection internals.
+//
+// Sync is lock-free: it runs on every wrapper mutation, so it must cost no
+// more than a few atomic stores on the ticket's own cache lines. Only a
+// live-byte change touches shared counters (and possibly triggers a cycle).
+func (t *Ticket) Sync(f Footprint, kind string) {
+	h := t.h
+	if h == nil {
+		return
+	}
+	// The owner is the only writer, so load-then-store is exact; the loads
+	// (plain reads on this ticket's own cache lines) guard the much more
+	// expensive stores, which are skipped for components that did not move
+	// (live and core change only when capacity changes).
+	delta := f.Live - t.live.Load()
+	if delta != 0 {
+		t.live.Store(f.Live)
+	}
+	if f.Used != t.used.Load() {
+		t.used.Store(f.Used)
+	}
+	if f.Core != t.core.Load() {
+		t.core.Store(f.Core)
+	}
+	if kind != "" && kind != *t.kind.Load() {
+		t.kind.Store(internKind(kind))
+	}
+	if delta != 0 {
+		h.collLive.Add(delta)
+	}
 	if delta > 0 {
 		h.bumpPeak()
 		h.Allocated(delta)
@@ -248,7 +408,7 @@ type Data struct {
 // percentage of live data" series of Fig. 2 meaningful.
 func (h *Heap) AllocData(size int64) *Data {
 	size = h.model.AlignUp(size)
-	h.dataLive += size
+	h.dataLive.Add(size)
 	h.bumpPeak()
 	h.Allocated(size)
 	return &Data{h: h, bytes: size}
@@ -259,7 +419,7 @@ func (d *Data) Free() {
 	if d.h == nil {
 		return
 	}
-	d.h.dataLive -= d.bytes
+	d.h.dataLive.Add(-d.bytes)
 	d.h = nil
 }
 
@@ -268,21 +428,54 @@ func (d *Data) Free() {
 // Short-lived garbage (the PMD pathology, §5.3) shows up as churn: it does
 // not raise peak live data but forces more frequent cycles. In
 // generational mode most triggers run a cheap minor cycle.
+//
+// Under concurrency each threshold crossing is claimed by exactly one
+// goroutine (a CAS on the since-GC counter), so the cycle count for a
+// given allocation volume is the same as in a single-goroutine run.
 func (h *Heap) Allocated(bytes int64) {
-	h.allocated += bytes
-	h.sinceGC += bytes
-	for h.sinceGC >= h.gcThreshold {
-		h.sinceGC -= h.gcThreshold
-		if h.generational {
-			h.gcTriggers++
-			if h.gcTriggers%(h.minorPerMajor+1) == 0 {
-				h.GC()
-			} else {
-				h.MinorGC()
-			}
-		} else {
-			h.GC()
+	if h.sinceGC.Add(bytes) >= h.gcThreshold {
+		h.maybeGC()
+	}
+}
+
+// totalAllocated derives the total allocation volume: every byte ever
+// passed to Allocated is either still in the since-GC window or was
+// claimed (threshold bytes at a time) by a triggered cycle.
+func (h *Heap) totalAllocated() int64 {
+	return h.sinceGC.Load() + h.gcThreshold*h.cycleClaims.Load()
+}
+
+// maybeGC claims and runs cycles while the since-GC volume exceeds the
+// threshold. The CAS both elects the triggering goroutine and carries the
+// leftover volume into the next inter-cycle window, exactly like the old
+// single-threaded subtraction loop.
+func (h *Heap) maybeGC() {
+	for {
+		cur := h.sinceGC.Load()
+		if cur < h.gcThreshold {
+			return
 		}
+		if h.sinceGC.CompareAndSwap(cur, cur-h.gcThreshold) {
+			h.cycleClaims.Add(1)
+			h.runCycle()
+		}
+	}
+}
+
+// runCycle runs one triggered cycle: in generational mode, a minor cycle
+// unless the major cadence is due.
+func (h *Heap) runCycle() {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	if h.generational {
+		h.gcTriggers++
+		if h.gcTriggers%(h.minorPerMajor+1) == 0 {
+			h.gcLocked()
+		} else {
+			h.minorGCLocked()
+		}
+	} else {
+		h.gcLocked()
 	}
 }
 
@@ -292,48 +485,71 @@ const promoteAge = 2
 
 // MinorGC runs a generational minor cycle: it walks only the young region,
 // ages survivors, and promotes those that have survived promoteAge minor
-// cycles. Minor cycles refresh the live estimate for young collections but
-// record no Table 3 statistics (the collection-aware bookkeeping
-// piggybacks on full marking, which only major cycles perform).
+// cycles. Minor cycles record no Table 3 statistics (the collection-aware
+// bookkeeping piggybacks on full marking, which only major cycles perform).
 func (h *Heap) MinorGC() {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	h.minorGCLocked()
+}
+
+func (h *Heap) minorGCLocked() {
 	h.numMinorGC++
-	young := h.regions[0]
-	var kept int
-	for i := range young {
-		e := young[i]
-		f := e.coll.HeapFootprint()
-		h.collLive += f.Live - e.ticket.live
-		e.ticket.live = f.Live
-		e.ticket.age++
-		if e.ticket.age >= promoteAge {
-			e.ticket.region = 1
-			e.ticket.slot = len(h.regions[1])
-			h.regions[1] = append(h.regions[1], e)
-			h.promotedBytes += f.Live
-			continue
+	for si := range h.shards {
+		sh := &h.shards[si]
+		sh.mu.Lock()
+		young := sh.regions[0]
+		var kept int
+		for i := range young {
+			e := young[i]
+			e.ticket.age++
+			if e.ticket.age >= promoteAge {
+				e.ticket.region = 1
+				e.ticket.slot = len(sh.regions[1])
+				sh.regions[1] = append(sh.regions[1], e)
+				h.promotedBytes += e.ticket.live.Load()
+				continue
+			}
+			e.ticket.slot = kept
+			young[kept] = e
+			kept++
 		}
-		e.ticket.slot = kept
-		young[kept] = e
-		kept++
+		for i := kept; i < len(young); i++ {
+			young[i] = entry{}
+		}
+		sh.regions[0] = young[:kept]
+		sh.mu.Unlock()
 	}
-	h.regions[0] = young[:kept]
-	h.bumpPeak()
 }
 
 func (h *Heap) bumpPeak() {
-	v := h.dataLive + h.collLive
-	if v > h.peakLive {
-		h.peakLive = v
+	v := h.dataLive.Load() + h.collLive.Load()
+	for {
+		p := h.peakLive.Load()
+		if v <= p || h.peakLive.CompareAndSwap(p, v) {
+			break
+		}
 	}
 	if h.limit > 0 && v > h.limit {
 		panic(OOMError{Needed: v, Limit: h.limit})
 	}
 }
 
-// GC runs one simulated collection cycle: it walks the live set, consults
-// every collection's semantic map, records the Table 3 statistics, resyncs
-// the running live estimate, and notifies the observer.
+// GC runs one simulated major collection cycle: it walks the live set
+// shard by shard, aggregates every collection's cached semantic-map
+// reading, records the Table 3 statistics, and notifies the observer.
+//
+// Shards are visited sequentially, each under its own lock, so a cycle
+// taken while other goroutines allocate is a fuzzy snapshot: it is
+// internally consistent per shard, and exact whenever the heap is quiesced
+// (see docs/CONCURRENCY.md).
 func (h *Heap) GC() {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	h.gcLocked()
+}
+
+func (h *Heap) gcLocked() {
 	h.numGC++
 	cs := CycleStats{
 		Cycle:      h.numGC,
@@ -342,25 +558,31 @@ func (h *Heap) GC() {
 	}
 	var coll Footprint
 	var objects int64
-	for r := range h.regions {
-		for i := range h.regions[r] {
-			e := &h.regions[r][i]
-			f := e.coll.HeapFootprint()
-			coll = coll.Add(f)
-			e.ticket.live = f.Live
-			cs.TypeDist[e.coll.KindName()] += f.Live
-			cc := cs.PerContext[e.coll.ContextKey()]
-			cc.Footprint = cc.Footprint.Add(f)
-			cc.Objects++
-			cs.PerContext[e.coll.ContextKey()] = cc
-			objects++
+	for si := range h.shards {
+		sh := &h.shards[si]
+		sh.mu.Lock()
+		for r := range sh.regions {
+			for i := range sh.regions[r] {
+				t := sh.regions[r][i].ticket
+				f := Footprint{
+					Live: t.live.Load(),
+					Used: t.used.Load(),
+					Core: t.core.Load(),
+				}
+				coll = coll.Add(f)
+				cs.TypeDist[*t.kind.Load()] += f.Live
+				cc := cs.PerContext[t.ctxKey]
+				cc.Footprint = cc.Footprint.Add(f)
+				cc.Objects++
+				cs.PerContext[t.ctxKey] = cc
+				objects++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	h.collLive = coll.Live // resync the running estimate to exact values
-	h.bumpPeak()
 	cs.Collections = coll
 	cs.CollectionObjects = objects
-	cs.LiveData = h.dataLive + coll.Live
+	cs.LiveData = h.dataLive.Load() + coll.Live
 
 	h.totLiveData += cs.LiveData
 	if cs.LiveData > h.maxLiveData {
@@ -410,12 +632,14 @@ type Stats struct {
 
 // Stats reports the heap-wide aggregates.
 func (h *Heap) Stats() Stats {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
 	return Stats{
 		NumGC:             h.numGC,
 		NumMinorGC:        h.numMinorGC,
 		PromotedBytes:     h.promotedBytes,
-		TotalAllocated:    h.allocated,
-		PeakLive:          h.peakLive,
+		TotalAllocated:    h.totalAllocated(),
+		PeakLive:          h.peakLive.Load(),
 		TotalLiveData:     h.totLiveData,
 		MaxLiveData:       h.maxLiveData,
 		TotalCollections:  h.totColl,
@@ -426,21 +650,36 @@ func (h *Heap) Stats() Stats {
 }
 
 // LiveCollections reports the number of currently registered collections.
-func (h *Heap) LiveCollections() int { return len(h.regions[0]) + len(h.regions[1]) }
+// It sums the shard registries on demand; registration and freeing keep no
+// global count, so the allocation path stays free of the shared counter.
+func (h *Heap) LiveCollections() int {
+	var n int
+	for si := range h.shards {
+		sh := &h.shards[si]
+		sh.mu.Lock()
+		n += len(sh.regions[0]) + len(sh.regions[1])
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // LiveBytes reports the current live bytes (data plus collections, running
 // estimate).
-func (h *Heap) LiveBytes() int64 { return h.dataLive + h.collLive }
+func (h *Heap) LiveBytes() int64 { return h.dataLive.Load() + h.collLive.Load() }
 
 // Snapshots reports the retained per-cycle statistics (requires
 // Config.KeepSnapshots).
-func (h *Heap) Snapshots() []CycleStats { return h.snapshots }
+func (h *Heap) Snapshots() []CycleStats {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	return h.snapshots
+}
 
 // MinimalHeap reports the simulated minimal heap size required to run the
 // program so far: the live-data high-water mark rounded up to the size
 // model's alignment. Paper §5.2 step 6 evaluates optimizations by this
 // measure.
-func (h *Heap) MinimalHeap() int64 { return h.model.AlignUp(h.peakLive) }
+func (h *Heap) MinimalHeap() int64 { return h.model.AlignUp(h.peakLive.Load()) }
 
 // FormatTypeDist renders a Table 3 type distribution sorted by descending
 // live size, for reports.

@@ -189,7 +189,7 @@ func TestTicketAdjustTracksGrowth(t *testing.T) {
 	if h.LiveBytes() != 128 {
 		t.Fatalf("live bytes = %d, want 128", h.LiveBytes())
 	}
-	h.GC() // resyncs from the semantic map
+	h.GC() // cycles aggregate the ticket-cached readings; nothing drifts
 	if h.LiveBytes() != 128 {
 		t.Fatalf("post-GC live = %d, want 128", h.LiveBytes())
 	}

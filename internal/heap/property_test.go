@@ -69,7 +69,7 @@ func TestHeapLiveInvariantUnderRandomOps(t *testing.T) {
 					}
 					// Data sizes are all multiples of 16 <= 160; recompute:
 					// we can't read them back, so track via heap instead.
-					dataBytes = h.LiveBytes() - h.collLive
+					dataBytes = h.LiveBytes() - h.collLive.Load()
 				}
 			case 5:
 				if generational && rng.Intn(2) == 0 {

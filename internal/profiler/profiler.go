@@ -6,10 +6,18 @@
 // maximal-size distributions, initial capacities, and the heap statistics
 // (live/used/core, object counts) recorded by the collection-aware GC on
 // every cycle.
+//
+// The profiler is safe for concurrent use. The context table is split into
+// shards keyed by context hash, so sessions allocating from many goroutines
+// contend only when they hit the same shard. Instance counters are atomics:
+// the owning goroutine is the only writer, but snapshots may read them while
+// operations are in flight, and the race detector demands (correctly) that
+// those reads be synchronized.
 package profiler
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"chameleon/internal/alloctx"
 	"chameleon/internal/heap"
@@ -18,19 +26,19 @@ import (
 )
 
 // Instance is the per-collection-object usage record — the paper's
-// ObjectContextInfo (§4.2). It is owned by a single collection wrapper and
-// is not synchronized; its contents are folded into the owning context when
-// the collection dies (the finalizer analogue) or when a snapshot is taken.
+// ObjectContextInfo (§4.2). It is owned by a single collection wrapper;
+// only the owner mutates it, but snapshot readers may observe it mid-flight,
+// so the counters are atomic.
 type Instance struct {
 	p          *Profiler
 	info       *ContextInfo
-	ops        [spec.NumOps]int64
-	maxSize    int64
-	finalSize  int64
+	ops        [spec.NumOps]atomic.Int64
+	maxSize    atomic.Int64
+	finalSize  atomic.Int64
+	emptyIters atomic.Int64
 	initialCap int64
-	emptyIters int64
-	slot       int
-	dead       bool
+	slot       int // index into info.live; guarded by the owning shard's mu
+	dead       atomic.Bool
 }
 
 // Record counts one operation.
@@ -38,7 +46,7 @@ func (in *Instance) Record(op spec.Op) {
 	if in == nil {
 		return
 	}
-	in.ops[op]++
+	in.ops[op].Add(1)
 }
 
 // NoteSize records the collection's size after an operation, maintaining
@@ -48,10 +56,15 @@ func (in *Instance) NoteSize(n int) {
 		return
 	}
 	s := int64(n)
-	if s > in.maxSize {
-		in.maxSize = s
+	// The owner is the only writer, so plain load-then-store suffices; the
+	// load-guards skip the (much more expensive) atomic stores when the
+	// size did not move, which is the common case for overwrites.
+	if s > in.maxSize.Load() {
+		in.maxSize.Store(s)
 	}
-	in.finalSize = s
+	if in.finalSize.Load() != s {
+		in.finalSize.Store(s)
+	}
 }
 
 // NoteEmptyIterator records an iterator created over an empty collection
@@ -60,19 +73,26 @@ func (in *Instance) NoteEmptyIterator() {
 	if in == nil {
 		return
 	}
-	in.emptyIters++
+	in.emptyIters.Add(1)
 }
 
 // ContextInfo aggregates all statistics for one allocation context — the
 // paper's ContextInfo object, combining library trace information with the
-// heap information the GC records per cycle.
+// heap information the GC records per cycle. It is guarded by the mutex of
+// the shard its key hashes to.
 type ContextInfo struct {
+	key      uint64
 	ctx      *alloctx.Context
 	declared spec.Kind
 	impl     spec.Kind
 
 	allocs int64
 	deaths int64
+
+	// live holds this context's currently-live instances, so a single-
+	// context snapshot folds only them instead of scanning every live
+	// instance in the session.
+	live []*Instance
 
 	opTotals [spec.NumOps]int64
 	opStats  [spec.NumOps]stats.Welford
@@ -94,44 +114,63 @@ type ContextInfo struct {
 func (ci *ContextInfo) fold(in *Instance) {
 	ci.deaths++
 	for op := spec.Op(0); op < spec.NumOps; op++ {
-		ci.opTotals[op] += in.ops[op]
-		ci.opStats[op].Add(float64(in.ops[op]))
+		n := in.ops[op].Load()
+		ci.opTotals[op] += n
+		ci.opStats[op].Add(float64(n))
 	}
-	ci.maxSize.Add(float64(in.maxSize))
-	ci.finalSz.Add(float64(in.finalSize))
+	maxSize := in.maxSize.Load()
+	ci.maxSize.Add(float64(maxSize))
+	ci.finalSz.Add(float64(in.finalSize.Load()))
 	ci.initCap.Add(float64(in.initialCap))
-	ci.sizeHist.Add(in.maxSize)
-	ci.emptyIters += in.emptyIters
+	ci.sizeHist.Add(maxSize)
+	ci.emptyIters += in.emptyIters.Load()
 }
 
 func (ci *ContextInfo) clone() *ContextInfo {
 	cp := *ci
+	cp.live = nil
 	cp.sizeHist = stats.NewHistogram()
 	cp.sizeHist.Merge(ci.sizeHist)
 	return &cp
 }
 
-// Profiler is the semantic collections profiler. It owns the per-context
-// table and the live-instance registry, and implements heap.Observer so the
-// simulated collector can push per-cycle, per-context heap statistics into
-// it (paper §4.3.1).
-type Profiler struct {
+const numShards = 16
+
+// profShard is one slice of the context table.
+type profShard struct {
 	mu       sync.Mutex
 	contexts map[uint64]*ContextInfo
-	live     []*Instance
+	live     int
+}
+
+// Profiler is the semantic collections profiler. It owns the sharded
+// per-context table (each context also carrying its live-instance registry)
+// and implements heap.Observer so the simulated collector can push per-cycle,
+// per-context heap statistics into it (paper §4.3.1).
+type Profiler struct {
+	shards [numShards]profShard
 }
 
 // New returns an empty profiler.
 func New() *Profiler {
-	return &Profiler{contexts: make(map[uint64]*ContextInfo)}
+	p := &Profiler{}
+	for i := range p.shards {
+		p.shards[i].contexts = make(map[uint64]*ContextInfo)
+	}
+	return p
 }
 
-func (p *Profiler) contextFor(ctx *alloctx.Context, declared, impl spec.Kind) *ContextInfo {
-	key := ctx.Key()
-	ci, ok := p.contexts[key]
+func (p *Profiler) shardFor(key uint64) *profShard {
+	return &p.shards[key&(numShards-1)]
+}
+
+// contextFor returns the ContextInfo for key, creating it if needed. The
+// caller must hold the owning shard's mutex.
+func (sh *profShard) contextFor(key uint64, ctx *alloctx.Context, declared, impl spec.Kind) *ContextInfo {
+	ci, ok := sh.contexts[key]
 	if !ok {
-		ci = &ContextInfo{ctx: ctx, declared: declared, impl: impl, sizeHist: stats.NewHistogram()}
-		p.contexts[key] = ci
+		ci = &ContextInfo{key: key, ctx: ctx, declared: declared, impl: impl, sizeHist: stats.NewHistogram()}
+		sh.contexts[key] = ci
 	}
 	ci.impl = impl // reflect the most recent selection (online mode may change it)
 	return ci
@@ -142,48 +181,53 @@ func (p *Profiler) contextFor(ctx *alloctx.Context, declared, impl spec.Kind) *C
 // capacity. The returned Instance must be passed to OnDeath when the
 // collection becomes unreachable.
 func (p *Profiler) OnAlloc(ctx *alloctx.Context, declared, impl spec.Kind, initialCap int) *Instance {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ci := p.contextFor(ctx, declared, impl)
+	key := ctx.Key()
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ci := sh.contextFor(key, ctx, declared, impl)
 	ci.allocs++
-	in := &Instance{p: p, info: ci, initialCap: int64(initialCap), slot: len(p.live)}
-	p.live = append(p.live, in)
+	in := &Instance{p: p, info: ci, initialCap: int64(initialCap), slot: len(ci.live)}
+	ci.live = append(ci.live, in)
+	sh.live++
 	return in
 }
 
 // OnDeath folds the instance's usage record into its context. Calling it
-// twice is a no-op (mirroring finalizers running at most once).
+// twice — even concurrently — is a no-op (mirroring finalizers running at
+// most once): the dead flag is claimed with a compare-and-swap before any
+// shared state is touched.
 func (p *Profiler) OnDeath(in *Instance) {
-	if in == nil || in.dead {
+	if in == nil || !in.dead.CompareAndSwap(false, true) {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if in.dead {
-		return
-	}
-	in.dead = true
-	last := len(p.live) - 1
-	moved := p.live[last]
-	p.live[in.slot] = moved
+	ci := in.info
+	sh := p.shardFor(ci.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	last := len(ci.live) - 1
+	moved := ci.live[last]
+	ci.live[in.slot] = moved
 	moved.slot = in.slot
-	p.live = p.live[:last]
-	in.info.fold(in)
+	ci.live[last] = nil
+	ci.live = ci.live[:last]
+	sh.live--
+	ci.fold(in)
 }
 
 // ObserveCycle implements heap.Observer: it records the per-context heap
 // footprints of one GC cycle into each context's aggregates (the Total/Max
 // heap columns of Table 1).
 func (p *Profiler) ObserveCycle(c *heap.CycleStats) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for key, cc := range c.PerContext {
-		ci, ok := p.contexts[key]
+		sh := p.shardFor(key)
+		sh.mu.Lock()
+		ci, ok := sh.contexts[key]
 		if !ok {
 			// Heap-tracked collection without trace tracking (e.g. a
 			// custom collection profiled only through its semantic map).
-			ci = &ContextInfo{sizeHist: stats.NewHistogram()}
-			p.contexts[key] = ci
+			ci = &ContextInfo{key: key, sizeHist: stats.NewHistogram()}
+			sh.contexts[key] = ci
 		}
 		ci.gcCycles++
 		ci.totHeap = ci.totHeap.Add(cc.Footprint)
@@ -200,41 +244,52 @@ func (p *Profiler) ObserveCycle(c *heap.CycleStats) {
 		if cc.Objects > ci.maxObjs {
 			ci.maxObjs = cc.Objects
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // LiveInstances reports the number of collections currently tracked.
 func (p *Profiler) LiveInstances() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.live)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.live
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Contexts reports the number of distinct allocation contexts observed.
 func (p *Profiler) Contexts() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.contexts)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.contexts)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Snapshot finalizes a view of every context: live instances are folded
 // into copies, so the snapshot reflects complete information (as if the
-// program had ended, §3.3.2) without perturbing ongoing profiling.
+// program had ended, §3.3.2) without perturbing ongoing profiling. Shards
+// are visited one at a time, so concurrent allocation keeps flowing through
+// the other shards while each is copied.
 func (p *Profiler) Snapshot() []*Profile {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	liveCount := make(map[*ContextInfo]int64, len(p.contexts))
-	copies := make(map[*ContextInfo]*ContextInfo, len(p.contexts))
-	for _, ci := range p.contexts {
-		copies[ci] = ci.clone()
-	}
-	for _, in := range p.live {
-		copies[in.info].fold(in)
-		liveCount[in.info]++
-	}
-	out := make([]*Profile, 0, len(copies))
-	for orig, cp := range copies {
-		out = append(out, newProfile(cp, liveCount[orig]))
+	var out []*Profile
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, ci := range sh.contexts {
+			cp := ci.clone()
+			for _, in := range ci.live {
+				cp.fold(in)
+			}
+			out = append(out, newProfile(cp, int64(len(ci.live))))
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -242,21 +297,19 @@ func (p *Profiler) Snapshot() []*Profile {
 // SnapshotContext finalizes a view of a single context by key, folding in
 // its live instances, or returns nil when the context is unknown. The
 // online selector uses this to decide one context without paying for a
-// whole-profiler snapshot on the allocation path.
+// whole-profiler snapshot on the allocation path: only one shard is locked,
+// and only the context's own live instances are folded.
 func (p *Profiler) SnapshotContext(key uint64) *Profile {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ci, ok := p.contexts[key]
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ci, ok := sh.contexts[key]
 	if !ok {
 		return nil
 	}
 	cp := ci.clone()
-	var live int64
-	for _, in := range p.live {
-		if in.info == ci {
-			cp.fold(in)
-			live++
-		}
+	for _, in := range ci.live {
+		cp.fold(in)
 	}
-	return newProfile(cp, live)
+	return newProfile(cp, int64(len(ci.live)))
 }

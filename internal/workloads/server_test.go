@@ -1,0 +1,25 @@
+package workloads
+
+import (
+	"testing"
+
+	"chameleon/internal/collections"
+)
+
+// The server checksum must be a pure function of the request stream: the
+// same for every worker count (order-independence) and for both variants
+// (the §1 interchangeability requirement).
+func TestServerChecksumScheduleIndependent(t *testing.T) {
+	want := RunServer(collections.Plain(), Baseline, 150)
+	if want == 0 {
+		t.Fatal("zero checksum")
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		if got := RunServerWorkers(collections.Plain(), Baseline, 150, workers); got != want {
+			t.Fatalf("workers=%d: checksum %#x, want %#x", workers, got, want)
+		}
+	}
+	if got := RunServerWorkers(collections.Plain(), Tuned, 150, 4); got != want {
+		t.Fatalf("tuned variant changed the result: %#x, want %#x", got, want)
+	}
+}

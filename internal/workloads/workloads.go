@@ -136,6 +136,9 @@ func ByName(name string) (Spec, error) {
 	if name == NeutralSpec.Name {
 		return NeutralSpec, nil
 	}
+	if name == ServerSpec.Name {
+		return ServerSpec, nil
+	}
 	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
