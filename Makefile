@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench-trajectory
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the checked-in benchmark trajectory file for this PR's five
+# headline benchmarks (see cmd/bench-trajectory). Use BENCHTIME=1x for a
+# smoke run (what CI does); the default takes a few minutes.
+BENCHTIME ?= 0.3s
+COUNT ?= 3
+TRAJECTORY ?= BENCH_pr3.json
+
+bench-trajectory:
+	$(GO) run ./cmd/bench-trajectory -benchtime $(BENCHTIME) -count $(COUNT) -out $(TRAJECTORY)

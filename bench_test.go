@@ -316,6 +316,26 @@ func BenchmarkMapGet(b *testing.B) {
 			})
 		}
 	}
+	// Profiled variant: the same hot Get loop with trace profiling and heap
+	// simulation on — the per-read cost of semantic profiling (§5.4).
+	for _, size := range []int{16} {
+		size := size
+		b.Run(fmt.Sprintf("profiled/n=%d", size), func(b *testing.B) {
+			prof := profiler.New()
+			h := heap.New(heap.Config{GCThreshold: 1 << 30, Observer: prof})
+			rt := collections.NewRuntime(collections.Config{Mode: alloctx.Static, Profiler: prof, Heap: h})
+			m := collections.NewHashMap[int, int](rt, collections.At("bench:mapget"), collections.Cap(size))
+			for i := 0; i < size; i++ {
+				m.Put(i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := m.Get(i % size); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSetContains(b *testing.B) {
@@ -351,6 +371,21 @@ func BenchmarkListAppend(b *testing.B) {
 			}
 		})
 	}
+	// Profiled variant: the same append loop with trace profiling and heap
+	// simulation on — the per-mutation cost of semantic profiling (§5.4).
+	b.Run("profiled", func(b *testing.B) {
+		prof := profiler.New()
+		h := heap.New(heap.Config{GCThreshold: 1 << 30, Observer: prof})
+		rt := collections.NewRuntime(collections.Config{Mode: alloctx.Static, Profiler: prof, Heap: h})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := collections.NewArrayList[int](rt, collections.At("bench:listappend"))
+			for k := 0; k < 64; k++ {
+				l.Add(k)
+			}
+			l.Free()
+		}
+	})
 }
 
 func BenchmarkListRandomAccess(b *testing.B) {

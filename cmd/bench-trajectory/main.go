@@ -1,0 +1,108 @@
+// Command bench-trajectory runs the repo's five headline benchmarks and
+// writes their ns/op numbers to a JSON file (BENCH_pr<N>.json by
+// convention), so successive PRs can diff the performance trajectory of
+// the profiling hot path. CI runs it with -benchtime 1x as a smoke and
+// uploads the JSON as an artifact; locally, run with a real benchtime to
+// regenerate the checked-in file:
+//
+//	go run ./cmd/bench-trajectory -benchtime 0.3s -count 3 -out BENCH_pr3.json
+//
+// The minimum ns/op across -count repetitions is kept per benchmark (the
+// usual way to strip scheduler noise from single-machine runs).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// headline is the benchmark set the trajectory tracks, as one -bench regex.
+const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer"
+
+// resultLine matches one `go test -bench` result, e.g.
+// "BenchmarkMapGet/HashMap/n=4-8   49134991   6.733 ns/op".
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	var (
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value (1x = smoke)")
+		count     = flag.Int("count", 1, "repetitions; the minimum ns/op is kept")
+		out       = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		bench     = flag.String("bench", headline, "benchmark selection regex")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		"."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: go %v: %v\n", args, err)
+		os.Exit(1)
+	}
+
+	nsop := map[string]float64{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := nsop[m[1]]; !ok || v < cur {
+			nsop[m[1]] = v
+		}
+	}
+	if len(nsop) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-trajectory: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	// Deterministic output: sorted keys, stable shape.
+	names := make([]string, 0, len(nsop))
+	for n := range nsop {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	fmt.Fprintf(&buf, "  %q: %q,\n", "benchtime", *benchtime)
+	fmt.Fprintf(&buf, "  %q: %d,\n", "count", *count)
+	buf.WriteString("  \"ns_per_op\": {\n")
+	for i, n := range names {
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&buf, "    %q: %g%s\n", n, nsop[n], comma)
+	}
+	buf.WriteString("  }\n}\n")
+
+	// Sanity: the file must round-trip as JSON.
+	var chk map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &chk); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: generated invalid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-trajectory: wrote %d benchmarks to %s\n", len(names), *out)
+}

@@ -34,8 +34,15 @@ type Frame struct {
 // key everywhere in the profiler and heap.
 type Context struct {
 	key    uint64
+	pcs    []uintptr // raw program counters (dynamic captures only)
 	frames []Frame
 	label  string
+
+	// scratch is an opaque cache slot for the context's consumers: the
+	// profiler stores its per-context aggregate here so the allocation hot
+	// path skips the context-table lookup once a context is hot. Every
+	// store must use the same concrete type (atomic.Value's contract).
+	scratch atomic.Value
 }
 
 // Key reports the context's interned key. Key 0 is reserved for "no
@@ -53,6 +60,22 @@ func (c *Context) Frames() []Frame {
 		return nil
 	}
 	return c.frames
+}
+
+// Scratch returns the value stored by SetScratch, or nil.
+func (c *Context) Scratch() any {
+	if c == nil {
+		return nil
+	}
+	return c.scratch.Load()
+}
+
+// SetScratch publishes a value into the context's cache slot. All callers
+// must store the same concrete type.
+func (c *Context) SetScratch(v any) {
+	if c != nil {
+		c.scratch.Store(v)
+	}
 }
 
 // String renders the context in the paper's report syntax:
@@ -117,6 +140,13 @@ type Table struct {
 	// label re-hashing and no allocation.
 	statics  atomic.Pointer[map[string]*Context]
 	staticMu sync.Mutex
+
+	// count tracks interned contexts so Len() is one atomic load instead
+	// of a full sync.Map range; collisions counts the (astronomically
+	// rare) times two distinct contexts hashed to the same key and a new
+	// context had to be stored at a probed key.
+	count      atomic.Int64
+	collisions atomic.Int64
 }
 
 // NewTable returns an empty context table.
@@ -136,13 +166,47 @@ func (t *Table) Static(label string) *Context {
 	return t.staticSlow(label)
 }
 
-func (t *Table) staticSlow(label string) *Context {
-	key := hashString("static:" + label)
-	c, ok := t.byKey.Load(key)
-	if !ok {
-		c, _ = t.byKey.LoadOrStore(key, &Context{key: key, label: label})
+// intern finds or installs a context at key, linearly probing past hash
+// collisions: when a key's occupant is a *different* context (different
+// stack or label — a 64-bit FNV collision), the key is bumped until the
+// matching context or a free slot is found, instead of silently merging
+// the two contexts' profiles. same reports whether an occupant is the
+// context being interned; mk builds the context for the key it ends up at.
+func (t *Table) intern(key uint64, same func(*Context) bool, mk func(uint64) *Context) *Context {
+	probed := false
+	for {
+		if c, ok := t.byKey.Load(key); ok {
+			ctx := c.(*Context)
+			if same(ctx) {
+				return ctx
+			}
+		} else {
+			c, loaded := t.byKey.LoadOrStore(key, mk(key))
+			ctx := c.(*Context)
+			if !loaded {
+				t.count.Add(1)
+				if probed {
+					t.collisions.Add(1)
+				}
+				return ctx
+			}
+			// Lost the store race; the winner may still be us semantically.
+			if same(ctx) {
+				return ctx
+			}
+		}
+		probed = true
+		key++
+		if key == 0 {
+			key = 1
+		}
 	}
-	ctx := c.(*Context)
+}
+
+func (t *Table) staticSlow(label string) *Context {
+	ctx := t.intern(hashString("static:"+label),
+		func(c *Context) bool { return c.label == label },
+		func(key uint64) *Context { return &Context{key: key, label: label} })
 	t.staticMu.Lock()
 	nm := make(map[string]*Context, 8)
 	if old := t.statics.Load(); old != nil {
@@ -175,7 +239,11 @@ func (t *Table) CaptureDynamic(skip, depth int) *Context {
 	pcs := pcbuf[:n]
 	key := hashPCs(pcs)
 	if c, ok := t.byKey.Load(key); ok {
-		return c.(*Context)
+		// The occupant is almost always this very stack; the PC compare
+		// guards against a 64-bit collision silently merging two contexts.
+		if ctx := c.(*Context); ctx.samePCs(pcs) {
+			return ctx
+		}
 	}
 
 	// Symbolize before interning; duplicate work on a race is harmless
@@ -189,8 +257,24 @@ func (t *Table) CaptureDynamic(skip, depth int) *Context {
 			break
 		}
 	}
-	c, _ := t.byKey.LoadOrStore(key, &Context{key: key, frames: frames})
-	return c.(*Context)
+	owned := append([]uintptr(nil), pcs...) // pcbuf is stack memory
+	return t.intern(key,
+		func(c *Context) bool { return c.samePCs(pcs) },
+		func(key uint64) *Context { return &Context{key: key, pcs: owned, frames: frames} })
+}
+
+// samePCs reports whether the context was interned from exactly this PC
+// sequence (always false for static/label contexts).
+func (c *Context) samePCs(pcs []uintptr) bool {
+	if c.label != "" || len(c.pcs) != len(pcs) {
+		return false
+	}
+	for i, pc := range pcs {
+		if c.pcs[i] != pc {
+			return false
+		}
+	}
+	return true
 }
 
 // Lookup reports the interned context for key, or nil.
@@ -201,11 +285,18 @@ func (t *Table) Lookup(key uint64) *Context {
 	return nil
 }
 
-// Len reports the number of interned contexts.
+// Len reports the number of interned contexts. Contexts are only ever
+// added, so this is one atomic load.
 func (t *Table) Len() int {
-	n := 0
-	t.byKey.Range(func(any, any) bool { n++; return true })
-	return n
+	return int(t.count.Load())
+}
+
+// Collisions reports how many times interning had to disambiguate two
+// distinct contexts whose stacks or labels hashed to the same 64-bit key
+// (each such context was stored at a linearly-probed key instead of being
+// silently merged with the occupant's profile).
+func (t *Table) Collisions() int {
+	return int(t.collisions.Load())
 }
 
 // trimFunc shortens "chameleon/internal/workloads.(*TVLA).step" to

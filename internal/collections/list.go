@@ -318,15 +318,7 @@ func (l *List[T]) Iterator() *Iterator[T] {
 // SinglyLinkedList rule can prove it unused in a context.
 func (l *List[T]) ListIterator() *ListIterator[T] {
 	n := l.impl.size()
-	if l.inst != nil {
-		l.inst.Record(spec.ListIterate)
-		if n == 0 {
-			l.inst.NoteEmptyIterator()
-		}
-	}
-	if l.rt != nil && l.rt.heap != nil {
-		l.rt.heap.Allocated(l.rt.model.ObjectFields(2, 2))
-	}
+	l.noteListIterator(n)
 	items := make([]T, 0, n)
 	l.impl.each(func(v T) bool {
 		items = append(items, v)

@@ -13,6 +13,7 @@
 package collections
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -287,6 +288,26 @@ func (rt *Runtime) decide(ctx *alloctx.Context, declared spec.Kind, o *allocOpts
 	return def
 }
 
+// flushEvery is the epoch length K of the batched profiling path: pending
+// owner-local counters drain into the shared atomic structures every
+// flushEvery recorded operations (and at size-class crossings and on free).
+// Snapshots of a live instance may therefore lag the owner by at most
+// flushEvery-1 operations; see docs/CONCURRENCY.md "Epoch-batched
+// profiling".
+const flushEvery = 32
+
+// sizeClassOf buckets a collection size geometrically, with class
+// boundaries at every power of two. Crossing a boundary in either
+// direction forces a footprint push into the heap ticket, so a cached
+// reading is never more than one size class (or flushEvery operations)
+// stale.
+func sizeClassOf(n int32) int8 {
+	if n < 0 {
+		n = 0
+	}
+	return int8(bits.Len32(uint32(n)))
+}
+
 // base is the state shared by all collection wrappers. A wrapper (and hence
 // its base) is owned by one goroutine at a time; the shared structures it
 // reports into (heap, profiler, runtime policy) are the concurrent-safe parts.
@@ -296,9 +317,22 @@ type base struct {
 	inst   *profiler.Instance
 	ticket *heap.Ticket
 	ctxKey uint64
+
 	// tk is the ticket storage ticket points at when the runtime has a
 	// heap: embedding it in the wrapper header saves one heap object per
 	// collection. It must never be copied (it contains atomics).
+	//
+	// tk.Ep is the wrapper's epoch-batched profiling state (ops recorded
+	// since the last flush, last pushed size class, dirty flag). It is
+	// owner-local and deliberately non-atomic: only the owning goroutine
+	// touches it, and flush() drains the epoch into the shared atomic
+	// structures (inst, ticket) every flushEvery operations, at size-class
+	// crossings, and on free. The per-op pending counts themselves live
+	// inside the profiler Instance (heap-allocated and pooled), and the
+	// epoch scalars occupy Ticket padding, so a profiled wrapper's header
+	// is exactly as large as a plain one's — growing it measurably slows
+	// plain scan-heavy paths. tk.Ep is meaningful (and used) even when the
+	// runtime has no heap and tk is never registered.
 	tk heap.Ticket
 }
 
@@ -320,9 +354,13 @@ func (rt *Runtime) install(b *base, c heap.Collection, ctx *alloctx.Context, dec
 	}
 }
 
-// free releases the wrapper: the heap ticket is freed and the instance
-// record is folded into its context (the finalizer analogue, §4.4).
+// free releases the wrapper: pending counters are flushed (so the folded
+// record and the ticket's last reading are exact), the heap ticket is
+// freed, and the instance record is folded into its context (the finalizer
+// analogue, §4.4). The instance must not be used after free returns — the
+// profiler recycles the record.
 func (b *base) free() {
+	b.flush()
 	if b.ticket != nil {
 		b.ticket.Free()
 		b.ticket = nil
@@ -333,38 +371,118 @@ func (b *base) free() {
 	}
 }
 
-// recordRead counts a non-mutating operation.
+// recordRead counts a non-mutating operation in the owner-local pending
+// buffer; the atomic instance record only sees it at the next flush. The
+// nil check is kept in this thin wrapper so the unprofiled path inlines to
+// a single compare at every call site.
 func (b *base) recordRead(op spec.Op) {
-	if b.inst != nil {
-		b.inst.Record(op)
+	if b.inst == nil {
+		return
+	}
+	b.bufferRead(op)
+}
+
+func (b *base) bufferRead(op spec.Op) {
+	b.inst.Buffer(op)
+	b.tk.Ep.OpsPend++
+	if b.tk.Ep.OpsPend >= flushEvery {
+		b.flush()
 	}
 }
 
-// afterMutate counts a mutating operation, notes the new size, and pushes the
-// collection's current footprint into its heap ticket. The push keeps the
-// GC's per-ticket cache exact without the GC ever reading the collection
-// itself — the owning goroutine is the only reader of the backing
-// implementation, so concurrent cycles stay race-free.
+// afterMutate counts a mutating operation and notes the new size, both in
+// owner-local pending counters. The collection's footprint is recomputed
+// and pushed into its heap ticket only when the size crosses a power-of-two
+// size class or when the epoch flushes — not on every mutation — so the
+// GC's per-ticket cache is a bounded-staleness reading rather than an
+// exact one (see docs/CONCURRENCY.md). The push still happens entirely on
+// the owning goroutine, so concurrent cycles stay race-free.
 func (b *base) afterMutate(op spec.Op, size int) {
-	if b.inst != nil {
-		b.inst.Record(op)
-		b.inst.NoteSize(size)
+	// Thin wrapper so the unprofiled path inlines to two compares.
+	if b.inst == nil && b.ticket == nil {
+		return
 	}
-	if b.ticket != nil {
-		b.ticket.Sync(b.coll.HeapFootprint(), b.coll.KindName())
+	b.bufferMutate(op, size)
+}
+
+func (b *base) bufferMutate(op spec.Op, size int) {
+	ep := &b.tk.Ep
+	ep.CurSize = int32(size)
+	if in := b.inst; in != nil {
+		in.Buffer(op)
+		in.BufferSize(ep.CurSize)
+	}
+	ep.Dirty = b.ticket != nil
+	ep.OpsPend++
+	if ep.OpsPend >= flushEvery {
+		b.flush()
+		return
+	}
+	if ep.Dirty && sizeClassOf(ep.CurSize) != ep.SizeClass {
+		b.syncTicket()
 	}
 }
 
 // noteIterator counts an iterator creation, its churn, and whether the
 // collection was empty (the Table 2 redundant-iterator rule).
 func (b *base) noteIterator(size int) {
-	if b.inst != nil {
-		b.inst.Record(spec.Iterate)
+	if in := b.inst; in != nil {
+		in.Buffer(spec.Iterate)
 		if size == 0 {
-			b.inst.NoteEmptyIterator()
+			in.BufferEmptyIterator()
+		}
+		b.tk.Ep.OpsPend++
+		if b.tk.Ep.OpsPend >= flushEvery {
+			b.flush()
 		}
 	}
 	if b.rt != nil && b.rt.heap != nil {
 		b.rt.heap.Allocated(b.rt.model.ObjectFields(2, 1))
 	}
+}
+
+// noteListIterator is noteIterator for the bidirectional list iterator,
+// profiled separately so the SinglyLinkedList rule can prove it unused.
+func (b *base) noteListIterator(size int) {
+	if in := b.inst; in != nil {
+		in.Buffer(spec.ListIterate)
+		if size == 0 {
+			in.BufferEmptyIterator()
+		}
+		b.tk.Ep.OpsPend++
+		if b.tk.Ep.OpsPend >= flushEvery {
+			b.flush()
+		}
+	}
+	if b.rt != nil && b.rt.heap != nil {
+		b.rt.heap.Allocated(b.rt.model.ObjectFields(2, 2))
+	}
+}
+
+// flush drains every owner-local pending counter into the shared atomic
+// structures: per-op counts, size observations, and empty-iterator counts
+// into the profiler instance; the current footprint into the heap ticket.
+// Flush points are a pure function of the owner's operation stream
+// (every flushEvery ops, every size-class crossing, every free), so runs
+// with identical per-owner streams publish identical readings regardless
+// of goroutine interleaving — the determinism the concurrent tests assert.
+func (b *base) flush() {
+	if in := b.inst; in != nil {
+		in.FlushPending(int64(b.tk.Ep.CurSize))
+	}
+	b.tk.Ep.OpsPend = 0
+	if b.tk.Ep.Dirty {
+		b.syncTicket()
+	}
+}
+
+// syncTicket recomputes the collection's footprint and pushes it into the
+// heap ticket, recording the size class the reading was taken at.
+func (b *base) syncTicket() {
+	if b.ticket == nil {
+		return
+	}
+	b.tk.Ep.SizeClass = sizeClassOf(b.tk.Ep.CurSize)
+	b.tk.Ep.Dirty = false
+	b.ticket.Sync(b.coll.HeapFootprint(), b.coll.KindName())
 }

@@ -209,6 +209,15 @@ func TestHeapAccountingThroughWrapper(t *testing.T) {
 	for i := 0; i < 11; i++ { // force one growth: cap 10 -> 16
 		l.Add(i)
 	}
+	// Geometric sync: the growth at size 11 does not cross a power-of-two
+	// size class (8 was the last boundary), so the ticket's cached reading
+	// is deliberately stale here — the heap still sees the cap-10 backing.
+	if h.LiveBytes() != before {
+		t.Fatalf("mid-class mutation synced eagerly: %d -> %d", before, h.LiveBytes())
+	}
+	for i := 11; i < 16; i++ { // size 16 crosses the next class boundary
+		l.Add(i)
+	}
 	after := h.LiveBytes()
 	if after <= before {
 		t.Fatalf("growth not reflected in heap: %d -> %d", before, after)

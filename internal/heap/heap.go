@@ -228,7 +228,8 @@ func (h *Heap) Model() SizeModel { return h.model }
 type Ticket struct {
 	h      *Heap
 	sh     *shard
-	slot   int
+	slot   int32
+	Ep     TicketEpoch
 	region int8 // 0 young, 1 old
 	age    int8 // minor cycles survived (generational mode)
 
@@ -242,6 +243,25 @@ type Ticket struct {
 	core   atomic.Int64
 	kind   atomic.Pointer[string]
 	ctxKey uint64
+}
+
+// TicketEpoch is the owner-local epoch state of the batched publication path
+// (the collections wrappers; see docs/CONCURRENCY.md "Epoch-batched
+// profiling"): how many operations were recorded since the last flush, the
+// size and size class the footprint was last pushed at, and whether the
+// cached reading may have gone stale. It is a plain exported field group so
+// the wrapper hot path updates it with direct stores, and it sits inside
+// Ticket to occupy what would otherwise be padding — a profiled wrapper's
+// header stays exactly as large as a plain one's, which measurably matters
+// on scan-heavy plain paths.
+//
+// Like the rest of the ticket's owner-side state it must only be touched by
+// the owning goroutine; GC cycles and snapshots never read it.
+type TicketEpoch struct {
+	CurSize   int32 // size after the latest mutation
+	OpsPend   uint8 // operations recorded since the last flush
+	SizeClass int8  // size class of the last footprint push
+	Dirty     bool  // the footprint may have moved since the last push
 }
 
 // kindInterns interns kind-name strings so tickets can publish kind changes
@@ -297,6 +317,7 @@ func (h *Heap) RegisterInto(c Collection, t *Ticket) {
 	t.ctxKey = c.ContextKey()
 	t.region = 0
 	t.age = 0
+	t.Ep = TicketEpoch{}
 	t.live.Store(f.Live)
 	t.used.Store(f.Used)
 	t.core.Store(f.Core)
@@ -304,7 +325,7 @@ func (h *Heap) RegisterInto(c Collection, t *Ticket) {
 	sh := &h.shards[h.nextShard.Add(1)&(numShards-1)]
 	t.sh = sh
 	sh.mu.Lock()
-	t.slot = len(sh.regions[0])
+	t.slot = int32(len(sh.regions[0]))
 	sh.regions[0] = append(sh.regions[0], entry{coll: c, ticket: t})
 	sh.mu.Unlock()
 	h.collLive.Add(f.Live)
@@ -505,12 +526,12 @@ func (h *Heap) minorGCLocked() {
 			e.ticket.age++
 			if e.ticket.age >= promoteAge {
 				e.ticket.region = 1
-				e.ticket.slot = len(sh.regions[1])
+				e.ticket.slot = int32(len(sh.regions[1]))
 				sh.regions[1] = append(sh.regions[1], e)
 				h.promotedBytes += e.ticket.live.Load()
 				continue
 			}
-			e.ticket.slot = kept
+			e.ticket.slot = int32(kept)
 			young[kept] = e
 			kept++
 		}

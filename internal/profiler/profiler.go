@@ -16,6 +16,7 @@
 package profiler
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,22 @@ type Instance struct {
 	initialCap int64
 	slot       int // index into info.live; guarded by the owning shard's mu
 	dead       atomic.Bool
+
+	// pend is the owner-local epoch buffer: the Buffer* methods accumulate
+	// plain (non-atomic) counts here and FlushPending drains them into the
+	// atomic counters above. Only the owning goroutine ever touches it —
+	// snapshot readers fold the atomics only — so buffering an operation
+	// costs no synchronization at all.
+	pend pending
+}
+
+// pending holds per-epoch counts not yet published to snapshot readers.
+type pending struct {
+	ops       [spec.NumOps]uint8
+	mask      uint32 // bit i set iff ops[i] != 0 (NumOps <= 32)
+	max       int32  // max size observed this epoch
+	empty     uint8  // empty-iterator observations this epoch
+	sizeDirty bool   // a mutation moved the size this epoch
 }
 
 // Record counts one operation.
@@ -76,6 +93,109 @@ func (in *Instance) NoteEmptyIterator() {
 	in.emptyIters.Add(1)
 }
 
+// AddOp adds n occurrences of op in a single atomic update. This is the
+// flush half of the epoch-batched recording path: collection wrappers
+// accumulate per-op counts in plain owner-local counters and drain them
+// here every K operations instead of paying one atomic add per operation.
+func (in *Instance) AddOp(op spec.Op, n int64) {
+	if in == nil || n == 0 {
+		return
+	}
+	in.ops[op].Add(n)
+}
+
+// SyncSizes merges one flushed batch's size observations: max is the
+// largest size observed since the previous flush, final the size after the
+// batch's last mutation.
+func (in *Instance) SyncSizes(max, final int64) {
+	if in == nil {
+		return
+	}
+	if max > in.maxSize.Load() {
+		in.maxSize.Store(max)
+	}
+	if in.finalSize.Load() != final {
+		in.finalSize.Store(final)
+	}
+}
+
+// AddEmptyIterators adds n empty-iterator observations in one update (the
+// batched form of NoteEmptyIterator).
+func (in *Instance) AddEmptyIterators(n int64) {
+	if in == nil || n == 0 {
+		return
+	}
+	in.emptyIters.Add(n)
+}
+
+// Buffer counts one operation in the owner-local pending buffer; snapshot
+// readers only see it at the next FlushPending. Owner-only, non-atomic.
+func (in *Instance) Buffer(op spec.Op) {
+	in.pend.ops[op]++
+	in.pend.mask |= 1 << uint(op)
+}
+
+// BufferSize notes the collection's size after a buffered mutation.
+func (in *Instance) BufferSize(n int32) {
+	if n > in.pend.max {
+		in.pend.max = n
+	}
+	in.pend.sizeDirty = true
+}
+
+// BufferEmptyIterator notes an iterator created over an empty collection.
+func (in *Instance) BufferEmptyIterator() {
+	in.pend.empty++
+}
+
+// FlushPending drains the pending buffer into the atomic counters, making
+// everything buffered since the previous flush visible to snapshots. final
+// is the collection's current size; it is published only when a buffered
+// mutation moved the size.
+func (in *Instance) FlushPending(final int64) {
+	for m := in.pend.mask; m != 0; m &= m - 1 {
+		op := spec.Op(bits.TrailingZeros32(m))
+		in.ops[op].Add(int64(in.pend.ops[op]))
+		in.pend.ops[op] = 0
+	}
+	in.pend.mask = 0
+	if in.pend.sizeDirty {
+		in.SyncSizes(int64(in.pend.max), final)
+		in.pend.sizeDirty = false
+		in.pend.max = 0
+	}
+	if in.pend.empty != 0 {
+		in.emptyIters.Add(int64(in.pend.empty))
+		in.pend.empty = 0
+	}
+}
+
+// reset zeroes the record for recycling. Load-guarded stores skip the
+// atomic writes for counters that are already zero (most of the op array,
+// for any one collection); the dead flag deliberately stays true until
+// OnAlloc re-arms the record, so a stale double-OnDeath remains a no-op
+// even after the record has been returned to the pool.
+func (in *Instance) reset() {
+	for i := range in.ops {
+		if in.ops[i].Load() != 0 {
+			in.ops[i].Store(0)
+		}
+	}
+	if in.maxSize.Load() != 0 {
+		in.maxSize.Store(0)
+	}
+	if in.finalSize.Load() != 0 {
+		in.finalSize.Store(0)
+	}
+	if in.emptyIters.Load() != 0 {
+		in.emptyIters.Store(0)
+	}
+	in.pend = pending{}
+	in.info = nil
+	in.initialCap = 0
+	in.slot = 0
+}
+
 // ContextInfo aggregates all statistics for one allocation context — the
 // paper's ContextInfo object, combining library trace information with the
 // heap information the GC records per cycle. It is guarded by the mutex of
@@ -83,6 +203,7 @@ func (in *Instance) NoteEmptyIterator() {
 type ContextInfo struct {
 	key      uint64
 	ctx      *alloctx.Context
+	owner    *Profiler // validates the alloctx scratch-slot cache
 	declared spec.Kind
 	impl     spec.Kind
 
@@ -149,6 +270,16 @@ type profShard struct {
 // per-context heap statistics into it (paper §4.3.1).
 type Profiler struct {
 	shards [numShards]profShard
+
+	// pool recycles Instance records: OnDeath resets a folded record and
+	// returns it, OnAlloc re-arms one instead of allocating. This takes the
+	// per-collection record allocation off the Go GC entirely on steady
+	// alloc/free workloads.
+	pool sync.Pool
+
+	// numContexts counts distinct contexts ever created, so Contexts() is
+	// one atomic load instead of locking every shard.
+	numContexts atomic.Int64
 }
 
 // New returns an empty profiler.
@@ -166,11 +297,12 @@ func (p *Profiler) shardFor(key uint64) *profShard {
 
 // contextFor returns the ContextInfo for key, creating it if needed. The
 // caller must hold the owning shard's mutex.
-func (sh *profShard) contextFor(key uint64, ctx *alloctx.Context, declared, impl spec.Kind) *ContextInfo {
+func (p *Profiler) contextFor(sh *profShard, key uint64, ctx *alloctx.Context, declared, impl spec.Kind) *ContextInfo {
 	ci, ok := sh.contexts[key]
 	if !ok {
-		ci = &ContextInfo{key: key, ctx: ctx, declared: declared, impl: impl, sizeHist: stats.NewHistogram()}
+		ci = &ContextInfo{key: key, ctx: ctx, owner: p, declared: declared, impl: impl, sizeHist: stats.NewHistogram()}
 		sh.contexts[key] = ci
+		p.numContexts.Add(1)
 	}
 	ci.impl = impl // reflect the most recent selection (online mode may change it)
 	return ci
@@ -179,24 +311,47 @@ func (sh *profShard) contextFor(key uint64, ctx *alloctx.Context, declared, impl
 // OnAlloc registers a new collection instance allocated at ctx, declared as
 // the given kind, and actually implemented by impl with the given initial
 // capacity. The returned Instance must be passed to OnDeath when the
-// collection becomes unreachable.
+// collection becomes unreachable, and must not be used after that.
+//
+// The hot path is a recycled record plus one shard-lock append: the
+// context's ContextInfo is cached in the alloctx.Context scratch slot after
+// the first allocation, so repeat allocations from a hot context skip the
+// table lookup entirely.
 func (p *Profiler) OnAlloc(ctx *alloctx.Context, declared, impl spec.Kind, initialCap int) *Instance {
 	key := ctx.Key()
+	in, _ := p.pool.Get().(*Instance)
+	if in == nil {
+		in = &Instance{}
+	}
+	in.p = p
+	in.initialCap = int64(initialCap)
+	ci, _ := ctx.Scratch().(*ContextInfo)
+	hot := ci != nil && ci.owner == p && ci.key == key
 	sh := p.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ci := sh.contextFor(key, ctx, declared, impl)
+	if hot {
+		ci.impl = impl
+	} else {
+		ci = p.contextFor(sh, key, ctx, declared, impl)
+		ctx.SetScratch(ci)
+	}
 	ci.allocs++
-	in := &Instance{p: p, info: ci, initialCap: int64(initialCap), slot: len(ci.live)}
+	in.info = ci
+	in.slot = len(ci.live)
+	in.dead.Store(false)
 	ci.live = append(ci.live, in)
 	sh.live++
+	sh.mu.Unlock()
 	return in
 }
 
-// OnDeath folds the instance's usage record into its context. Calling it
-// twice — even concurrently — is a no-op (mirroring finalizers running at
-// most once): the dead flag is claimed with a compare-and-swap before any
-// shared state is touched.
+// OnDeath folds the instance's usage record into its context and recycles
+// the record. Calling it twice — even concurrently — is a no-op (mirroring
+// finalizers running at most once): the dead flag is claimed with a
+// compare-and-swap before any shared state is touched, and stays claimed
+// until OnAlloc re-arms the recycled record, so a stale second OnDeath
+// after the fold also stays a no-op. The caller must drop every reference
+// to the instance once OnDeath returns.
 func (p *Profiler) OnDeath(in *Instance) {
 	if in == nil || !in.dead.CompareAndSwap(false, true) {
 		return
@@ -204,7 +359,6 @@ func (p *Profiler) OnDeath(in *Instance) {
 	ci := in.info
 	sh := p.shardFor(ci.key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	last := len(ci.live) - 1
 	moved := ci.live[last]
 	ci.live[in.slot] = moved
@@ -213,6 +367,12 @@ func (p *Profiler) OnDeath(in *Instance) {
 	ci.live = ci.live[:last]
 	sh.live--
 	ci.fold(in)
+	sh.mu.Unlock()
+	// The record is no longer reachable from the profiler (snapshots fold
+	// only the live list, which it just left under the shard lock), so it
+	// can be reset and recycled outside the lock.
+	in.reset()
+	p.pool.Put(in)
 }
 
 // ObserveCycle implements heap.Observer: it records the per-context heap
@@ -226,8 +386,9 @@ func (p *Profiler) ObserveCycle(c *heap.CycleStats) {
 		if !ok {
 			// Heap-tracked collection without trace tracking (e.g. a
 			// custom collection profiled only through its semantic map).
-			ci = &ContextInfo{key: key, sizeHist: stats.NewHistogram()}
+			ci = &ContextInfo{key: key, owner: p, sizeHist: stats.NewHistogram()}
 			sh.contexts[key] = ci
+			p.numContexts.Add(1)
 		}
 		ci.gcCycles++
 		ci.totHeap = ci.totHeap.Add(cc.Footprint)
@@ -261,15 +422,9 @@ func (p *Profiler) LiveInstances() int {
 }
 
 // Contexts reports the number of distinct allocation contexts observed.
+// It is one atomic load — contexts are only ever created, never removed.
 func (p *Profiler) Contexts() int {
-	n := 0
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.Lock()
-		n += len(sh.contexts)
-		sh.mu.Unlock()
-	}
-	return n
+	return int(p.numContexts.Load())
 }
 
 // Snapshot finalizes a view of every context: live instances are folded
