@@ -149,8 +149,11 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 }
 
 // BenchmarkAutoOverhead regenerates the §5.4 comparison: each benchmark
-// under (a) the plain runtime and (b) the fully-automatic mode (dynamic
-// context capture + profiling + online replacement).
+// under (a) the plain runtime, (b) the fully-automatic mode (dynamic
+// context capture + profiling + online replacement, with the guarded
+// verification of docs/ROBUSTNESS.md on at its defaults), and (c) the same
+// with verification disabled — the auto vs auto-unguarded gap is the price
+// of outcome verification.
 func BenchmarkAutoOverhead(b *testing.B) {
 	autoCfg := core.Config{
 		Mode:          alloctx.Dynamic,
@@ -159,6 +162,8 @@ func BenchmarkAutoOverhead(b *testing.B) {
 		GCThreshold:   64 << 10,
 		DropSnapshots: true,
 	}
+	unguardedCfg := autoCfg
+	unguardedCfg.OnlineOptions = adaptive.Options{MinEvidence: 32, VerifyEvery: -1}
 	for _, name := range []string{"tvla", "pmd"} {
 		name := name
 		b.Run(name+"/plain", func(b *testing.B) {
@@ -169,6 +174,11 @@ func BenchmarkAutoOverhead(b *testing.B) {
 		b.Run(name+"/auto", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				runWorkload(b, name, workloads.Baseline, autoCfg, benchScale)
+			}
+		})
+		b.Run(name+"/auto-unguarded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, name, workloads.Baseline, unguardedCfg, benchScale)
 			}
 		})
 	}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chameleon/internal/advisor"
 	"chameleon/internal/alloctx"
@@ -204,7 +205,63 @@ func main() {
 	fmt.Println("\nsuggestions (§2.1 report):")
 	fmt.Print(rep.Format())
 	if s.Selector != nil {
-		fmt.Printf("\nonline mode: %d allocations received a replaced implementation\n", s.Selector.Replacements())
+		printOnlineReport(s)
+	}
+}
+
+// printOnlineReport summarizes the guarded online adaptation: the
+// selector-wide counters and each context's position in the decision state
+// machine (docs/ROBUSTNESS.md).
+func printOnlineReport(s *core.Session) {
+	sel := s.Selector
+	fmt.Printf("\nonline mode: %d allocations received a replaced implementation\n", sel.Replacements())
+	fmt.Printf("guarded adaptation: %d rule evaluations, %d verified, %d rolled back, %d quarantines, %d contained panics\n",
+		sel.Decides(), sel.Verifies(), sel.Rollbacks(), sel.Quarantines(), sel.Panics())
+	if disabled, msg := sel.Disabled(); disabled {
+		fmt.Printf("selector DISABLED: panic budget exhausted (%s)\n", msg)
+	}
+	if h := s.Runtime().SelectorHealth(); h.Panics > 0 {
+		fmt.Printf("runtime containment: %d selector panics recovered on the allocation path (last: %s)\n",
+			h.Panics, h.LastError)
+	}
+	sts := sel.Statuses()
+	if len(sts) == 0 {
+		return
+	}
+	labels := make(map[uint64]string)
+	for _, p := range s.Prof.Snapshot() {
+		labels[p.Context.Key()] = p.Context.String()
+	}
+	fmt.Println("per-context decision state:")
+	for _, cs := range sts {
+		label := labels[cs.Context]
+		if label == "" {
+			label = fmt.Sprintf("ctx %#x", cs.Context)
+		}
+		line := fmt.Sprintf("  %-11s %s", cs.Status, label)
+		if cs.Applied {
+			line += fmt.Sprintf(" -> %v", cs.Decision.Impl)
+			if cs.Decision.Capacity > 0 {
+				line += fmt.Sprintf("(cap %d)", cs.Decision.Capacity)
+			}
+		}
+		var notes []string
+		if cs.Rollbacks > 0 {
+			notes = append(notes, fmt.Sprintf("rollbacks=%d", cs.Rollbacks))
+		}
+		if cs.Panics > 0 {
+			notes = append(notes, fmt.Sprintf("panics=%d", cs.Panics))
+		}
+		if cs.Backoff > 0 {
+			notes = append(notes, fmt.Sprintf("backoff=%d", cs.Backoff))
+		}
+		if cs.LastError != "" {
+			notes = append(notes, cs.LastError)
+		}
+		if len(notes) > 0 {
+			line += " [" + strings.Join(notes, ", ") + "]"
+		}
+		fmt.Println(line)
 	}
 }
 

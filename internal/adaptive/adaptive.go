@@ -7,11 +7,21 @@
 // Decisions are necessarily based on partial information: the selector
 // waits until a context has accumulated MinEvidence dead instances, then
 // evaluates the rule set on that context's statistics and caches the
-// decision. A context can be re-evaluated periodically to react to phase
-// changes (the paper's "lack of stability" motivation).
+// decision. The paper admits the risk plainly — "even a single collection
+// with large size may considerably degrade performance" — so decisions are
+// treated as revocable hypotheses: after a replacement is applied, the
+// selector keeps scoring post-decision evidence from the profiler's
+// evidence windows, and a decision whose premise stops holding is rolled
+// back to the declared default and quarantined with exponential backoff
+// (the guarded-adaptation state machine of docs/ROBUSTNESS.md). Rule
+// evaluation runs under recover: a panicking rule set degrades the context
+// — and past a panic budget, the whole selector — to default decisions
+// instead of crashing the allocating goroutine.
 package adaptive
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -34,9 +44,33 @@ type Options struct {
 	MinEvidence int64
 	// ReevaluateEvery re-decides a context after this many further
 	// allocations (0 = decide once and stick — the paper's default
-	// behaviour, with its "even a single collection with large size may
-	// considerably degrade performance" risk).
+	// behaviour; a quarantined context is still re-decided after its
+	// backoff expires).
 	ReevaluateEvery int64
+	// VerifyEvery re-checks an applied decision against post-decision
+	// evidence after this many further allocations from the context
+	// (0 = the default of 64; negative disables outcome verification,
+	// restoring the paper's decide-and-stick behaviour).
+	VerifyEvery int64
+	// MinWindowEvidence is the number of instances an evidence window must
+	// have observed before a verification passes judgment; below it the
+	// check is postponed to the next VerifyEvery boundary. The default
+	// is 8.
+	MinWindowEvidence int64
+	// QuarantineBackoff is the initial quarantine length, in allocations,
+	// after a rollback or contained panic. It doubles on every further
+	// quarantine of the same context (capped at BackoffMax), so a flapping
+	// context converges to the declared default instead of oscillating.
+	// The default is 4*MinEvidence.
+	QuarantineBackoff int64
+	// BackoffMax caps the exponential quarantine backoff. The default
+	// is 1<<16 allocations.
+	BackoffMax int64
+	// PanicBudget is the number of contained rule-evaluation panics after
+	// which the whole selector degrades to default decisions (0 = the
+	// default of 8; negative = no selector-wide budget, contexts still
+	// quarantine individually).
+	PanicBudget int64
 }
 
 func (o Options) fill() Options {
@@ -49,21 +83,57 @@ func (o Options) fill() Options {
 	if o.MinEvidence <= 0 {
 		o.MinEvidence = 32
 	}
+	if o.VerifyEvery == 0 {
+		o.VerifyEvery = 64
+	}
+	if o.MinWindowEvidence <= 0 {
+		o.MinWindowEvidence = 8
+	}
+	if o.QuarantineBackoff <= 0 {
+		o.QuarantineBackoff = 4 * o.MinEvidence
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 1 << 16
+	}
+	if o.PanicBudget == 0 {
+		o.PanicBudget = 8
+	}
 	return o
 }
 
-// decisionState is one context's cached decision. Its fields are guarded by
-// its own mutex, so hammering one context from many goroutines contends only
-// on that context's state, and distinct contexts do not contend at all.
+// neverCheck is a sentinel allocation count that never arrives.
+const neverCheck = 1 << 62
+
+// decisionState is one context's cached decision and its guarded lifecycle
+// (see Status). Its fields are guarded by its own mutex, so hammering one
+// context from many goroutines contends only on that context's state, and
+// distinct contexts do not contend at all.
 type decisionState struct {
 	mu        sync.Mutex
 	allocs    int64
 	decided   bool
-	deciding  bool // a goroutine is evaluating the rules outside the lock
+	deciding  bool // a goroutine is evaluating or verifying outside the lock
 	nextCheck int64
 	decision  collections.Decision
 	useIt     bool
+
+	status    Status
+	rule      *rules.Rule // rule backing the applied decision (nil otherwise)
+	verifyAt  int64       // allocation count of the next verification (0: none)
+	backoff   int64       // current quarantine length; doubles per quarantine
+	panics    int64
+	rollbacks int64
+	lastErr   string
 }
+
+// selectAction is the work a Select call claimed for this allocation.
+type selectAction int
+
+const (
+	actNone selectAction = iota
+	actDecide
+	actVerify
+)
 
 // Selector is an online implementation selector; it implements
 // collections.Selector and is safe for concurrent use. The hot path (a
@@ -79,6 +149,14 @@ type Selector struct {
 	// decides counts rule evaluations, to assert exactly-once decisions
 	// under concurrency in tests.
 	decides atomic.Int64
+
+	// Guarded-adaptation counters (see docs/ROBUSTNESS.md).
+	verifies    atomic.Int64 // verifications whose premise held
+	rollbacks   atomic.Int64 // premise violations that reverted a decision
+	quarantines atomic.Int64 // quarantine entries (rollbacks + panics)
+	panicsTotal atomic.Int64 // contained rule-evaluation panics
+	disabled    atomic.Bool  // panic budget exhausted: defaults only
+	disabledBy  atomic.Pointer[string]
 }
 
 // New builds an online selector reading evidence from prof.
@@ -91,10 +169,10 @@ func New(prof *profiler.Profiler, opts Options) *Selector {
 func (s *Selector) Replacements() int64 { return s.replacements.Load() }
 
 // Decides reports how many rule evaluations have run (one per decided
-// context unless re-evaluation is enabled).
+// context unless re-evaluation is enabled or a quarantine expired).
 func (s *Selector) Decides() int64 { return s.decides.Load() }
 
-// Decisions reports the currently cached per-context decisions.
+// Decisions reports the currently applied per-context decisions.
 func (s *Selector) Decisions() map[uint64]collections.Decision {
 	out := make(map[uint64]collections.Decision)
 	s.state.Range(func(k, v any) bool {
@@ -117,6 +195,11 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 		// the declared implementation.
 		return def
 	}
+	if s.disabled.Load() {
+		// Panic budget exhausted: the selector as a whole is degraded to
+		// default decisions (docs/ROBUSTNESS.md containment contract).
+		return def
+	}
 	v, ok := s.state.Load(ctxKey)
 	if !ok {
 		v, _ = s.state.LoadOrStore(ctxKey, &decisionState{nextCheck: s.opts.MinEvidence})
@@ -125,29 +208,43 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 
 	st.mu.Lock()
 	st.allocs++
-	needDecide := false
-	if !st.deciding && st.allocs >= st.nextCheck && (!st.decided || s.opts.ReevaluateEvery > 0) {
-		// Claim the evaluation: concurrent allocations crossing the
-		// threshold together see deciding=true (or the bumped nextCheck)
-		// and use the cached state, so each crossing evaluates the rules
-		// exactly once.
-		needDecide = true
-		st.deciding = true
-		if s.opts.ReevaluateEvery > 0 {
-			st.nextCheck = st.allocs + s.opts.ReevaluateEvery
-		} else {
-			st.nextCheck = 1 << 62
+	action := actNone
+	if !st.deciding {
+		if st.allocs >= st.nextCheck &&
+			(!st.decided || s.opts.ReevaluateEvery > 0 || st.status == StatusQuarantined) {
+			// Claim the evaluation: concurrent allocations crossing the
+			// threshold together see deciding=true (or the bumped
+			// nextCheck) and use the cached state, so each crossing
+			// evaluates the rules exactly once.
+			action = actDecide
+			st.deciding = true
+			if s.opts.ReevaluateEvery > 0 {
+				st.nextCheck = st.allocs + s.opts.ReevaluateEvery
+			} else {
+				st.nextCheck = neverCheck
+			}
+		} else if st.verifyAt > 0 && st.allocs >= st.verifyAt {
+			// Claim a verification of the applied decision's premise; the
+			// same deciding flag keeps evaluation and verification from
+			// racing each other on one context.
+			action = actVerify
+			st.deciding = true
+			st.verifyAt = st.allocs + s.opts.VerifyEvery
 		}
 	}
 	use, dec := st.decided && st.useIt, st.decision
 	st.mu.Unlock()
 
-	if needDecide {
-		s.decides.Add(1)
-		d, u := s.decide(ctxKey, declared, def)
+	if action != actNone {
+		switch action {
+		case actDecide:
+			s.runDecide(st, ctxKey, declared, def)
+		case actVerify:
+			s.runVerify(st, ctxKey)
+		}
+		// Re-read so the claiming allocation itself sees the outcome.
 		st.mu.Lock()
-		st.decided, st.decision, st.useIt, st.deciding = true, d, u, false
-		use, dec = u, d
+		use, dec = st.decided && st.useIt, st.decision
 		st.mu.Unlock()
 	}
 
@@ -158,21 +255,84 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 	return def
 }
 
+// release clears the deciding claim. It is installed with defer on every
+// evaluation/verification path, so the claim is released even when the
+// work panics — a wedged claim would silence the context forever (the
+// deciding-flag leak this guards against has a regression test).
+func (s *Selector) release(st *decisionState) {
+	st.mu.Lock()
+	st.deciding = false
+	st.mu.Unlock()
+}
+
+// contain recovers a panic escaping evaluation or verification and
+// converts it into a quarantined context plus a charge against the
+// selector-wide panic budget. It is installed with defer after release, so
+// it runs first and release still clears the claim afterwards.
+func (s *Selector) contain(st *decisionState, ctxKey uint64) {
+	if r := recover(); r != nil {
+		s.notePanic(st, ctxKey, fmt.Sprintf("panic: %v", r))
+	}
+}
+
+// runDecide evaluates the rule set for one claimed threshold crossing and
+// publishes the outcome into the context's state.
+func (s *Selector) runDecide(st *decisionState, ctxKey uint64, declared spec.Kind, def collections.Decision) {
+	defer s.release(st)
+	defer s.contain(st, ctxKey)
+	s.decides.Add(1)
+	d, u, rule, err := s.decide(ctxKey, declared, def)
+	if err != nil {
+		var pe *rules.PanicError
+		if errors.As(err, &pe) {
+			s.notePanic(st, ctxKey, err.Error())
+			return
+		}
+		// A plain evaluation error (unknown metric, unbound parameter):
+		// record it and fall back to the declared default for good.
+		st.mu.Lock()
+		st.decided, st.useIt, st.rule = true, false, nil
+		st.status, st.verifyAt = StatusDefault, 0
+		st.lastErr = err.Error()
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Lock()
+	st.decided, st.decision, st.useIt, st.rule = true, d, u, rule
+	if u {
+		st.status = StatusActive
+		if s.opts.VerifyEvery > 0 {
+			st.verifyAt = st.allocs + s.opts.VerifyEvery
+		}
+	} else {
+		st.status, st.verifyAt = StatusDefault, 0
+	}
+	st.mu.Unlock()
+	if u && s.opts.VerifyEvery > 0 {
+		// Open the post-decision evidence window the verification will be
+		// judged on (never while holding st.mu: profiler shard locks and
+		// state locks are taken one at a time, in either order's absence).
+		s.prof.OpenWindow(ctxKey)
+	}
+}
+
 // decide snapshots one context and evaluates the rule set, keeping only
 // decisions that are actionable at allocation time: replacements within
 // the declared ADT and capacity tuning. Cross-ADT advice (e.g. ArrayList
-// -> LinkedHashSet) requires a program change and is skipped online.
-func (s *Selector) decide(ctxKey uint64, declared spec.Kind, def collections.Decision) (collections.Decision, bool) {
-	p := s.prof.SnapshotContext(ctxKey)
+// -> LinkedHashSet) requires a program change and is skipped online. The
+// rule backing an applied replacement is returned so verification can
+// re-check its guard against post-decision evidence.
+func (s *Selector) decide(ctxKey uint64, declared spec.Kind, def collections.Decision) (collections.Decision, bool, *rules.Rule, error) {
+	p := throughFaults(ctxKey, s.prof.SnapshotContext(ctxKey))
 	if p == nil {
-		return def, false
+		return def, false, nil, nil
 	}
-	ms, err := rules.Eval(s.opts.Rules, p, rules.EvalOptions{
+	ms, err := rules.EvalSafe(s.opts.Rules, p, rules.EvalOptions{
 		Params:        s.opts.Params,
 		MaxSizeStdDev: s.opts.MaxSizeStdDev,
 	})
 	if err != nil {
-		return def, false
+		return def, false, nil, err
 	}
 	for _, m := range ms {
 		switch m.Rule.Act.Kind {
@@ -185,12 +345,12 @@ func (s *Selector) decide(ctxKey uint64, declared spec.Kind, def collections.Dec
 			if m.Capacity > 0 {
 				capVal = int(m.Capacity)
 			}
-			return collections.Decision{Impl: impl, Capacity: capVal}, true
+			return collections.Decision{Impl: impl, Capacity: capVal}, true, m.Rule, nil
 		case rules.ActSetCapacity:
 			if m.Capacity > 0 {
-				return collections.Decision{Impl: def.Impl, Capacity: int(m.Capacity)}, true
+				return collections.Decision{Impl: def.Impl, Capacity: int(m.Capacity)}, true, m.Rule, nil
 			}
 		}
 	}
-	return def, false
+	return def, false, nil, nil
 }

@@ -13,6 +13,7 @@
 package collections
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,13 @@ type Runtime struct {
 	selector atomic.Pointer[selectorBox]
 	disabled atomic.Pointer[map[spec.Kind]bool]
 	kindRate atomic.Pointer[map[spec.Kind]*alloctx.Sampler]
+
+	// Selector containment record: the runtime is the last line of defense
+	// between a misbehaving selector and the allocating goroutine, so it
+	// recovers selector panics and rejects decisions that would crash the
+	// constructors (docs/ROBUSTNESS.md).
+	selPanics atomic.Int64
+	selErr    atomic.Pointer[string]
 }
 
 // selectorBox wraps a Selector so a nil selector can be published atomically
@@ -274,18 +282,79 @@ func (rt *Runtime) resolveContext(o *allocOpts, declared spec.Kind) *alloctx.Con
 	}
 }
 
-// decide picks the backing implementation and capacity.
+// decide picks the backing implementation and capacity. A selector is
+// untrusted here: its panics are recovered (an allocation must never crash
+// because the advice machinery broke) and its decision is sanitized before
+// it reaches a constructor.
 func (rt *Runtime) decide(ctx *alloctx.Context, declared spec.Kind, o *allocOpts) Decision {
 	def := Decision{Impl: declared, Capacity: o.capacity}
 	if o.forceImpl != spec.KindNone {
 		return Decision{Impl: o.forceImpl, Capacity: o.capacity}
 	}
-	if rt != nil {
-		if box := rt.selector.Load(); box != nil && box.s != nil {
-			return box.s.Select(ctx.Key(), declared, def)
-		}
+	if rt == nil {
+		return def
 	}
-	return def
+	box := rt.selector.Load()
+	if box == nil || box.s == nil {
+		return def
+	}
+	dec, ok := rt.selectGuarded(box.s, ctx.Key(), declared, def)
+	if !ok {
+		return def
+	}
+	return sanitizeDecision(dec, declared, def)
+}
+
+// selectGuarded invokes the selector under recover: a panicking selector
+// yields the default decision and is recorded in SelectorHealth.
+func (rt *Runtime) selectGuarded(s Selector, ctxKey uint64, declared spec.Kind, def Decision) (dec Decision, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("selector panic: %v", r)
+			rt.selPanics.Add(1)
+			rt.selErr.Store(&msg)
+			dec, ok = def, false
+		}
+	}()
+	return s.Select(ctxKey, declared, def), true
+}
+
+// sanitizeDecision rejects decisions the constructors cannot honor: a
+// cross-ADT implementation (newListImpl and friends panic on foreign
+// kinds) falls back to the default wholesale, a zero kind means "keep the
+// declared one", and a negative capacity is clamped to the implementation
+// default.
+func sanitizeDecision(dec Decision, declared spec.Kind, def Decision) Decision {
+	if dec.Impl == spec.KindNone {
+		dec.Impl = def.Impl
+	}
+	if dec.Impl.Abstract() != declared.Abstract() {
+		return def
+	}
+	if dec.Capacity < 0 {
+		dec.Capacity = 0
+	}
+	return dec
+}
+
+// SelectorHealth is the runtime's containment record for the installed
+// selector: how many panics were recovered on the allocation path and the
+// most recent one.
+type SelectorHealth struct {
+	Panics    int64
+	LastError string
+}
+
+// SelectorHealth reports the selector containment record.
+func (rt *Runtime) SelectorHealth() SelectorHealth {
+	if rt == nil {
+		return SelectorHealth{}
+	}
+	h := SelectorHealth{Panics: rt.selPanics.Load()}
+	if msg := rt.selErr.Load(); msg != nil {
+		h.LastError = *msg
+	}
+	return h
 }
 
 // flushEvery is the epoch length K of the batched profiling path: pending

@@ -1,0 +1,80 @@
+// Package faults is the registry-based fault-injection harness for the
+// guarded online path (docs/ROBUSTNESS.md). Tests arm a Plan describing
+// which faults to inject — rule-evaluation panics, corrupted profile
+// snapshots — and the production code consults the registry at two cold
+// seams: the guarded rule-evaluation entry point (rules.EvalSafe) and the
+// online selector's snapshot acquisition. With no plan armed the hooks cost
+// one atomic pointer load on the decide/verify path only; the per-operation
+// hot paths never touch the registry.
+//
+// The registry is process-global, so tests that arm a plan must Disarm it
+// before returning (use defer) and must not run in t.Parallel with other
+// fault-injection tests.
+package faults
+
+import (
+	"sync/atomic"
+)
+
+// Plan describes the faults to inject. Nil hooks are inactive; hooks may be
+// called from any goroutine and must be safe for concurrent use (use
+// atomics for fire-N-times counters).
+type Plan struct {
+	// RuleEvalPanic, when it returns fire=true, makes the guarded
+	// rule-evaluation entry point panic with the returned value — the
+	// "misbehaving rule set" fault.
+	RuleEvalPanic func() (value any, fire bool)
+	// CorruptSnapshot may replace (or mutate and return) the profile the
+	// online selector is about to evaluate for ctxKey — the "corrupted
+	// snapshot" fault. The snapshot is passed as any (a *profiler.Profile
+	// at the adaptive call sites) so this package stays dependency-free
+	// and importable from every layer. Returning snapshot unchanged passes
+	// through; returning nil simulates a vanished context.
+	CorruptSnapshot func(ctxKey uint64, snapshot any) any
+}
+
+var active atomic.Pointer[Plan]
+
+// Arm installs the plan; it stays active until Disarm.
+func Arm(p *Plan) { active.Store(p) }
+
+// Disarm removes any armed plan.
+func Disarm() { active.Store(nil) }
+
+// Armed reports whether a plan is active.
+func Armed() bool { return active.Load() != nil }
+
+// RuleEvalPanic consults the armed plan's rule-evaluation fault. Called by
+// rules.EvalSafe before evaluating.
+func RuleEvalPanic() (any, bool) {
+	pl := active.Load()
+	if pl == nil || pl.RuleEvalPanic == nil {
+		return nil, false
+	}
+	return pl.RuleEvalPanic()
+}
+
+// CorruptSnapshot passes a freshly-taken profile through the armed plan's
+// snapshot fault. Called by the online selector on every snapshot it is
+// about to score.
+func CorruptSnapshot(ctxKey uint64, snapshot any) any {
+	pl := active.Load()
+	if pl == nil || pl.CorruptSnapshot == nil {
+		return snapshot
+	}
+	return pl.CorruptSnapshot(ctxKey, snapshot)
+}
+
+// PanicOnce returns a RuleEvalPanic hook that fires exactly n times with
+// the given panic value, then goes quiet — the common "transient bug"
+// shape. Safe for concurrent use.
+func PanicOnce(value any, n int64) func() (any, bool) {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return func() (any, bool) {
+		if remaining.Add(-1) >= 0 {
+			return value, true
+		}
+		return nil, false
+	}
+}

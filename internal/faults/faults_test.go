@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHooksAreNoOps(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("armed with no plan")
+	}
+	if v, fire := RuleEvalPanic(); fire || v != nil {
+		t.Fatalf("disarmed RuleEvalPanic fired: %v", v)
+	}
+	if p := CorruptSnapshot(1, nil); p != nil {
+		t.Fatalf("disarmed CorruptSnapshot returned %v", p)
+	}
+}
+
+func TestPanicOnceFiresExactly(t *testing.T) {
+	hook := PanicOnce("boom", 2)
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if v, fire := hook(); fire {
+			fires++
+			if v != "boom" {
+				t.Fatalf("panic value = %v", v)
+			}
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, want 2", fires)
+	}
+}
+
+func TestArmDisarmConcurrent(t *testing.T) {
+	defer Disarm()
+	plan := &Plan{RuleEvalPanic: PanicOnce("x", 1<<30)}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Arm(plan)
+				RuleEvalPanic()
+				CorruptSnapshot(uint64(i), nil)
+				Disarm()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -19,6 +19,7 @@ type profileWire struct {
 	Impl           string             `json:"impl"`
 	Allocs         int64              `json:"allocs"`
 	Live           int64              `json:"live"`
+	Evidence       int64              `json:"evidence,omitempty"`
 	Ops            map[string]int64   `json:"ops,omitempty"`
 	OpsMean        map[string]float64 `json:"opsMean,omitempty"`
 	OpsStdDev      map[string]float64 `json:"opsStdDev,omitempty"`
@@ -47,6 +48,7 @@ func (p *Profile) toWire() profileWire {
 		Impl:           p.Impl.String(),
 		Allocs:         p.Allocs,
 		Live:           p.Live,
+		Evidence:       p.Evidence,
 		Ops:            map[string]int64{},
 		OpsMean:        map[string]float64{},
 		OpsStdDev:      map[string]float64{},
@@ -96,6 +98,7 @@ func (w profileWire) toProfile(contexts *alloctx.Table) (*Profile, error) {
 		Impl:           impl,
 		Allocs:         w.Allocs,
 		Live:           w.Live,
+		Evidence:       w.Evidence,
 		MaxSizeAvg:     w.MaxSizeAvg,
 		MaxSizeStdDev:  w.MaxSizeStdDev,
 		MaxSizeMax:     w.MaxSizeMax,

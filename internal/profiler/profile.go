@@ -25,6 +25,11 @@ type Profile struct {
 	// is how many were still reachable at snapshot time.
 	Allocs int64
 	Live   int64
+	// Evidence is the number of instance records folded into this profile
+	// (completed instances plus live ones folded at snapshot time) — the
+	// sample size behind the per-instance statistics. The guarded online
+	// selector refuses to judge a decision below a minimum Evidence.
+	Evidence int64
 
 	// OpTotals is the total number of times each operation was performed
 	// across all instances of the context.
@@ -65,6 +70,7 @@ func newProfile(ci *ContextInfo, live int64) *Profile {
 		Impl:           ci.impl,
 		Allocs:         ci.allocs,
 		Live:           live,
+		Evidence:       ci.deaths,
 		MaxSizeAvg:     ci.maxSize.Mean(),
 		MaxSizeStdDev:  ci.maxSize.StdDev(),
 		MaxSizeMax:     ci.maxSize.Max(),
@@ -262,6 +268,7 @@ type profileJSON struct {
 	Impl           string           `json:"impl"`
 	Allocs         int64            `json:"allocs"`
 	Live           int64            `json:"live"`
+	Evidence       int64            `json:"evidence,omitempty"`
 	Ops            map[string]int64 `json:"ops,omitempty"`
 	MaxSizeAvg     float64          `json:"maxSizeAvg"`
 	MaxSizeStdDev  float64          `json:"maxSizeStdDev"`
@@ -293,6 +300,7 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 		Impl:           p.Impl.String(),
 		Allocs:         p.Allocs,
 		Live:           p.Live,
+		Evidence:       p.Evidence,
 		Ops:            ops,
 		MaxSizeAvg:     p.MaxSizeAvg,
 		MaxSizeStdDev:  p.MaxSizeStdDev,

@@ -41,6 +41,11 @@ type Instance struct {
 	slot       int // index into info.live; guarded by the owning shard's mu
 	dead       atomic.Bool
 
+	// winGen is the evidence-window generation the instance was allocated
+	// under (see ContextInfo.win). Written in OnAlloc and read in OnDeath /
+	// WindowSnapshot, all under the owning shard's mutex.
+	winGen int64
+
 	// pend is the owner-local epoch buffer: the Buffer* methods accumulate
 	// plain (non-atomic) counts here and FlushPending drains them into the
 	// atomic counters above. Only the owning goroutine ever touches it —
@@ -194,6 +199,7 @@ func (in *Instance) reset() {
 	in.info = nil
 	in.initialCap = 0
 	in.slot = 0
+	in.winGen = 0
 }
 
 // ContextInfo aggregates all statistics for one allocation context — the
@@ -214,6 +220,16 @@ type ContextInfo struct {
 	// context snapshot folds only them instead of scanning every live
 	// instance in the session.
 	live []*Instance
+
+	// win, when non-nil, is the open post-decision evidence window: a
+	// second, smaller aggregate that only folds instances allocated after
+	// OpenWindow (their winGen matches the context's). The online selector
+	// uses it to judge a decision on what happened *after* the decision was
+	// applied, instead of on the lifetime statistics that justified it.
+	// Heap statistics are not windowed — GC cycles observe the whole
+	// context — so a window profile carries trace statistics only.
+	win    *ContextInfo
+	winGen int64
 
 	opTotals [spec.NumOps]int64
 	opStats  [spec.NumOps]stats.Welford
@@ -250,6 +266,7 @@ func (ci *ContextInfo) fold(in *Instance) {
 func (ci *ContextInfo) clone() *ContextInfo {
 	cp := *ci
 	cp.live = nil
+	cp.win = nil // folding into a clone must never reach the shared window
 	cp.sizeHist = stats.NewHistogram()
 	cp.sizeHist.Merge(ci.sizeHist)
 	return &cp
@@ -338,6 +355,10 @@ func (p *Profiler) OnAlloc(ctx *alloctx.Context, declared, impl spec.Kind, initi
 	ci.allocs++
 	in.info = ci
 	in.slot = len(ci.live)
+	in.winGen = ci.winGen
+	if ci.win != nil {
+		ci.win.allocs++
+	}
 	in.dead.Store(false)
 	ci.live = append(ci.live, in)
 	sh.live++
@@ -367,6 +388,9 @@ func (p *Profiler) OnDeath(in *Instance) {
 	ci.live = ci.live[:last]
 	sh.live--
 	ci.fold(in)
+	if ci.win != nil && in.winGen == ci.winGen {
+		ci.win.fold(in)
+	}
 	sh.mu.Unlock()
 	// The record is no longer reachable from the profiler (snapshots fold
 	// only the live list, which it just left under the shard lock), so it
@@ -467,4 +491,66 @@ func (p *Profiler) SnapshotContext(key uint64) *Profile {
 		cp.fold(in)
 	}
 	return newProfile(cp, int64(len(ci.live)))
+}
+
+// OpenWindow starts (or restarts) a post-decision evidence window for one
+// context: from now on, instances allocated at the context fold into a
+// second aggregate alongside the lifetime one, so WindowSnapshot can report
+// what happened strictly after the window opened. Instances allocated
+// before the call never enter the window, even if they die inside it. A
+// no-op for unknown contexts.
+func (p *Profiler) OpenWindow(key uint64) {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ci, ok := sh.contexts[key]
+	if !ok {
+		return
+	}
+	ci.winGen++
+	ci.win = &ContextInfo{
+		key:      key,
+		ctx:      ci.ctx,
+		owner:    p,
+		declared: ci.declared,
+		impl:     ci.impl,
+		sizeHist: stats.NewHistogram(),
+	}
+}
+
+// CloseWindow discards the context's evidence window, stopping the double
+// fold. A no-op when no window is open.
+func (p *Profiler) CloseWindow(key uint64) {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ci, ok := sh.contexts[key]; ok {
+		ci.win = nil
+		ci.winGen++ // stale in-flight instances never match a future window
+	}
+}
+
+// WindowSnapshot finalizes a view of the context's open evidence window,
+// folding in the window-generation live instances, or returns nil when the
+// context is unknown or no window is open. The profile carries trace
+// statistics only (heap statistics are per-cycle, whole-context readings
+// and stay zero); its Evidence field reports how many instances the window
+// has observed, which the selector uses as the judgment threshold.
+func (p *Profiler) WindowSnapshot(key uint64) *Profile {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ci, ok := sh.contexts[key]
+	if !ok || ci.win == nil {
+		return nil
+	}
+	cp := ci.win.clone()
+	var live int64
+	for _, in := range ci.live {
+		if in.winGen == ci.winGen {
+			cp.fold(in)
+			live++
+		}
+	}
+	return newProfile(cp, live)
 }

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"chameleon/internal/collections"
+)
+
+// PhaseShift models a program whose collection behaviour changes mid-run —
+// the failure mode the paper's online mode is most exposed to: "even a
+// single collection with large size may considerably degrade performance"
+// (§5.4) when a decision made on early evidence stops matching later
+// behaviour. The first half of the run shows textbook Table 2 pathologies
+// (small maps, undersized lists, mostly-empty sets), luring the online
+// selector into replacements and capacity tunings; the second half breaks
+// every one of those premises. A fourth, stable context behaves identically
+// throughout, pinning down that the guarded selector punishes only the
+// contexts that actually shifted.
+//
+// The checksum is a pure function of the operation stream, so it must be
+// identical with no runtime, with a selector, and across any decisions the
+// selector makes — the §1 interchangeability requirement under adaptation.
+
+// PhaseShiftSpec describes the phase-shift workload. Like "neutral" and
+// "server" it is not part of All() (it models an adversarial adaptation
+// scenario, not a paper benchmark) but is exercised by the guarded-online
+// tests and available to the CLI as "phaseshift".
+var PhaseShiftSpec = Spec{
+	Name:         "phaseshift",
+	Description:  "mid-run behaviour shift: online decisions invalidated, guarded selector must roll back",
+	Run:          RunPhaseShift,
+	DefaultScale: 200,
+}
+
+func shiftMapCtx() collections.Option {
+	return collections.At("phase.Cache.lookup:42;phase.Server.handle:17")
+}
+
+func shiftListCtx() collections.Option {
+	return collections.At("phase.Batch.collect:88;phase.Server.handle:21")
+}
+
+func shiftSetCtx() collections.Option {
+	return collections.At("phase.Flags.mark:64;phase.Server.handle:25")
+}
+
+func stableCtx() collections.Option {
+	return collections.At("phase.Counter.bump:12;phase.Server.handle:29")
+}
+
+// RunPhaseShift drives four contexts through scale*4 iterations; halfway
+// through, three of them change behaviour.
+func RunPhaseShift(rt *collections.Runtime, v Variant, scale int) uint64 {
+	rng := newRand(77)
+	var checksum uint64
+	_ = v // adaptation is the runtime's job here; there is no tuned variant
+
+	iters := scale * 4
+	for i := 0; i < iters; i++ {
+		late := i >= iters/2
+
+		// Shifting-size maps: 1-2 entries early (ArrayMap bait), ~64 late.
+		m := collections.NewHashMap[int, int](rt, shiftMapCtx())
+		n := 1 + rng.intn(2)
+		if late {
+			n = 48 + rng.intn(16)
+		}
+		for j := 0; j < n; j++ {
+			m.Put(j, int(rng.next()&0xFFFF))
+		}
+		for j := 0; j < n; j++ {
+			if val, ok := m.Get(j); ok {
+				checksum = mix(checksum, uint64(val))
+			}
+		}
+		m.Free()
+
+		// Shifting-capacity lists: ~7 elements early (setCapacity bait),
+		// ~128 late — a tuned capacity resizes again immediately.
+		l := collections.NewArrayList[int](rt, shiftListCtx())
+		ln := 6 + rng.intn(3)
+		if late {
+			ln = 120 + rng.intn(16)
+		}
+		for j := 0; j < ln; j++ {
+			l.Add(j * 3)
+		}
+		l.Each(func(e int) bool {
+			checksum = mix(checksum, uint64(e))
+			return true
+		})
+		l.Free()
+
+		// Shifting-emptiness sets: 90% stay empty early (lazy-allocation
+		// bait), every one is populated late.
+		s := collections.NewHashSet[int](rt, shiftSetCtx())
+		fill := rng.intn(10) == 0
+		if late {
+			fill = true
+		}
+		if fill {
+			for j := 0; j < 3; j++ {
+				s.Add(j)
+			}
+		}
+		if s.Contains(1) {
+			checksum = mix(checksum, uint64(i))
+		}
+		s.Free()
+
+		// Stable control: always exactly one entry; its decision's premise
+		// never breaks and must survive every verification.
+		c := collections.NewHashMap[int, int](rt, stableCtx())
+		c.Put(0, i)
+		if val, ok := c.Get(0); ok {
+			checksum = mix(checksum, uint64(val))
+		}
+		c.Free()
+	}
+	return checksum
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"testing"
+
+	"chameleon/internal/adaptive"
+	"chameleon/internal/alloctx"
+	"chameleon/internal/collections"
+	"chameleon/internal/profiler"
+)
+
+// guardedRuntime wires a runtime to a guarded online selector fed from the
+// same profiler.
+func guardedRuntime(opts adaptive.Options) (*collections.Runtime, *adaptive.Selector) {
+	prof := profiler.New()
+	sel := adaptive.New(prof, opts)
+	rt := collections.NewRuntime(collections.Config{
+		Profiler: prof,
+		Contexts: alloctx.NewTable(),
+		Mode:     alloctx.Static,
+		Selector: sel,
+	})
+	return rt, sel
+}
+
+// TestPhaseShiftGuardedAdaptation is the end-to-end acceptance scenario:
+// under the phase-shift workload the guarded selector must (1) compute the
+// same checksum as a plain run — decisions and rollbacks may never change
+// logical behaviour; (2) detect at least one harmful decision and roll it
+// back; (3) keep the stable control context applied and verified.
+func TestPhaseShiftGuardedAdaptation(t *testing.T) {
+	const scale = 60
+	plain := RunPhaseShift(collections.Plain(), Baseline, scale)
+
+	rt, sel := guardedRuntime(adaptive.Options{
+		MinEvidence: 16, VerifyEvery: 16, MinWindowEvidence: 8,
+	})
+	got := RunPhaseShift(rt, Baseline, scale)
+	if got != plain {
+		t.Fatalf("guarded adaptation changed behaviour: checksum %#x != plain %#x", got, plain)
+	}
+	if sel.Replacements() == 0 {
+		t.Fatal("phase 1 bait produced no replacements — the scenario is not exercising adaptation")
+	}
+	if sel.Rollbacks() == 0 {
+		t.Fatal("phase shift invalidated decisions but nothing was rolled back")
+	}
+	if sel.Quarantines() == 0 {
+		t.Fatal("rollback without quarantine")
+	}
+
+	var verified, quarantined int
+	for _, st := range sel.Statuses() {
+		switch st.Status {
+		case adaptive.StatusVerified:
+			verified++
+			if !st.Applied {
+				t.Fatalf("verified context %d not applied", st.Context)
+			}
+		case adaptive.StatusQuarantined:
+			quarantined++
+			if st.Applied {
+				t.Fatalf("quarantined context %d still applied", st.Context)
+			}
+			if st.Backoff == 0 {
+				t.Fatalf("quarantined context %d has no backoff", st.Context)
+			}
+		}
+	}
+	if verified == 0 {
+		t.Fatalf("stable control context did not stay verified: %+v", sel.Statuses())
+	}
+	if quarantined == 0 && sel.Rollbacks() == 0 {
+		t.Fatal("no context shows the rollback")
+	}
+	if disabled, msg := sel.Disabled(); disabled {
+		t.Fatalf("rollbacks must not trip the panic budget: %s", msg)
+	}
+}
+
+// TestPhaseShiftChecksumStable pins the workload's determinism: repeated
+// plain runs agree, so any divergence under a selector is attributable to
+// the selector.
+func TestPhaseShiftChecksumStable(t *testing.T) {
+	a := RunPhaseShift(collections.Plain(), Baseline, 20)
+	b := RunPhaseShift(collections.Plain(), Baseline, 20)
+	if a != b {
+		t.Fatalf("phase-shift workload is nondeterministic: %#x != %#x", a, b)
+	}
+	if c := RunPhaseShift(collections.Plain(), Tuned, 20); c != a {
+		t.Fatalf("variant changed the checksum: %#x != %#x", c, a)
+	}
+}

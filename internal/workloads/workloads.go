@@ -139,6 +139,9 @@ func ByName(name string) (Spec, error) {
 	if name == ServerSpec.Name {
 		return ServerSpec, nil
 	}
+	if name == PhaseShiftSpec.Name {
+		return PhaseShiftSpec, nil
+	}
 	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
