@@ -19,6 +19,7 @@ import (
 	"chameleon/internal/alloctx"
 	"chameleon/internal/collections"
 	"chameleon/internal/core"
+	"chameleon/internal/governor"
 	"chameleon/internal/heap"
 	"chameleon/internal/profiler"
 	"chameleon/internal/spec"
@@ -179,6 +180,48 @@ func BenchmarkAutoOverhead(b *testing.B) {
 		b.Run(name+"/auto-unguarded", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				runWorkload(b, name, workloads.Baseline, unguardedCfg, benchScale)
+			}
+		})
+	}
+}
+
+// BenchmarkGovernorTiers measures what each rung of the degradation
+// ladder costs — and buys — on the contextstorm workload: the ungoverned
+// baseline (no meter wired in), then a metered session forced to each
+// tier via SetProfilingTier. The full→off spread is the fidelity range
+// the overhead governor trades across (docs/ROBUSTNESS.md).
+func BenchmarkGovernorTiers(b *testing.B) {
+	const stormScale = 30
+	b.Run("unmetered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := core.NewSession(core.Config{GCThreshold: 64 << 10, DropSnapshots: true})
+			if workloads.RunContextStorm(s.Runtime(), workloads.Baseline, stormScale) == 0 {
+				b.Fatal("zero checksum")
+			}
+		}
+	})
+	tiers := []struct {
+		name string
+		tier governor.Tier
+		rate int
+	}{
+		{"full", governor.TierFull, 1},
+		{"sampled-8", governor.TierSampled, 8},
+		{"heap-only", governor.TierHeapOnly, 1},
+		{"off", governor.TierOff, 1},
+	}
+	for _, tc := range tiers {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSession(core.Config{
+					GCThreshold: 64 << 10, DropSnapshots: true,
+					OverheadBudget: 0.05, // wires the meter; ticking stays manual
+				})
+				s.Runtime().SetProfilingTier(tc.tier, tc.rate)
+				if workloads.RunContextStorm(s.Runtime(), workloads.Baseline, stormScale) == 0 {
+					b.Fatal("zero checksum")
+				}
 			}
 		})
 	}

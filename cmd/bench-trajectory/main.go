@@ -1,4 +1,4 @@
-// Command bench-trajectory runs the repo's five headline benchmarks and
+// Command bench-trajectory runs the repo's headline benchmarks and
 // writes their ns/op numbers to a JSON file (BENCH_pr<N>.json by
 // convention), so successive PRs can diff the performance trajectory of
 // the profiling hot path. CI runs it with -benchtime 1x as a smoke and
@@ -25,7 +25,7 @@ import (
 )
 
 // headline is the benchmark set the trajectory tracks, as one -bench regex.
-const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer"
+const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer|BenchmarkGovernorTiers"
 
 // resultLine matches one `go test -bench` result, e.g.
 // "BenchmarkMapGet/HashMap/n=4-8   49134991   6.733 ns/op".

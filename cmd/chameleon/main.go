@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"chameleon/internal/advisor"
 	"chameleon/internal/alloctx"
@@ -47,7 +48,11 @@ func main() {
 		plan        = flag.Bool("plan", false, "profile, derive a plan from the report, re-run with it applied (§3.3.2)")
 		extended    = flag.Bool("extended", false, "use the extended rule set (SinglyLinkedList, open addressing)")
 		gen         = flag.Bool("generational", false, "use the generational simulated collector")
-		workers     = flag.Int("workers", 1, "concurrent request workers (server workload only)")
+		workers     = flag.Int("workers", 1, "concurrent workers (server and contextstorm workloads)")
+		maxContexts = flag.Int("max-contexts", 0, "context budget: bound profiling memory, fold cold contexts into (overflow) (0 = unbounded)")
+		overheadPct = flag.Float64("overhead-budget", 0, "overhead governor target as a fraction of wall time, e.g. 0.05 (0 = governor off)")
+		govInterval = flag.Duration("governor-interval", 25*time.Millisecond, "overhead governor tick interval")
+		healthOut   = flag.String("health-out", "", "write the end-of-run health snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -73,8 +78,8 @@ func main() {
 	if *variant == "tuned" {
 		v = workloads.Tuned
 	}
-	if *workers > 1 && spec.Name != workloads.ServerSpec.Name {
-		fatal(fmt.Errorf("-workers %d: only the server workload runs concurrently", *workers))
+	if *workers > 1 && spec.Name != workloads.ServerSpec.Name && spec.Name != workloads.ContextStormSpec.Name {
+		fatal(fmt.Errorf("-workers %d: only the server and contextstorm workloads run concurrently", *workers))
 	}
 
 	var ctxMode alloctx.Mode
@@ -137,20 +142,27 @@ func main() {
 	}
 
 	s := core.NewSession(core.Config{
-		Mode:         ctxMode,
-		GCThreshold:  *gcThreshold,
-		Online:       *online,
-		Generational: *gen,
-		KeepContexts: *ctxSeries > 0,
+		Mode:           ctxMode,
+		GCThreshold:    *gcThreshold,
+		Online:         *online,
+		Generational:   *gen,
+		KeepContexts:   *ctxSeries > 0,
+		MaxContexts:    *maxContexts,
+		OverheadBudget: *overheadPct,
 	})
 	fmt.Fprintf(os.Stderr, "chameleon: running %s (%s, scale %d, %s contexts, online=%v, workers=%d)\n",
 		spec.Name, v, *scale, ctxMode, *online, *workers)
+	s.StartGovernor(*govInterval)
 	var checksum uint64
-	if *workers > 1 {
+	switch {
+	case *workers > 1 && spec.Name == workloads.ContextStormSpec.Name:
+		checksum = workloads.RunContextStormWorkers(s.Runtime(), v, *scale, *workers)
+	case *workers > 1:
 		checksum = workloads.RunServerWorkers(s.Runtime(), v, *scale, *workers)
-	} else {
+	default:
 		checksum = spec.Run(s.Runtime(), v, *scale)
 	}
+	s.StopGovernor()
 	s.FinalGC()
 
 	st := s.Heap.Stats()
@@ -159,6 +171,21 @@ func main() {
 		st.PeakLive, s.Heap.MinimalHeap(), st.NumGC, st.TotalAllocated)
 	fmt.Printf("collections: max live=%d used=%d core=%d bytes (%d objects max)\n\n",
 		st.MaxCollections.Live, st.MaxCollections.Used, st.MaxCollections.Core, st.MaxCollectionNo)
+
+	health := s.Health()
+	if *maxContexts > 0 || *overheadPct > 0 {
+		printHealthReport(health)
+	}
+	if *healthOut != "" {
+		out, err := json.MarshalIndent(health, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*healthOut, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chameleon: health snapshot written to %s\n", *healthOut)
+	}
 
 	if *series {
 		fmt.Println("per-cycle potential series (Fig. 2 view):")
@@ -175,14 +202,9 @@ func main() {
 	}
 
 	if *profileOut != "" {
-		f, err := os.Create(*profileOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := profiler.WriteProfiles(f, s.Prof.Snapshot()); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Crash-safe write: temp file + fsync + rename, so an interrupted
+		// run never leaves a torn snapshot (docs/ROBUSTNESS.md).
+		if err := profiler.WriteProfilesFile(*profileOut, s.Prof.Snapshot()); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "chameleon: profile snapshot written to %s\n", *profileOut)
@@ -207,6 +229,30 @@ func main() {
 	if s.Selector != nil {
 		printOnlineReport(s)
 	}
+}
+
+// printHealthReport summarizes the overload-protection state: the context
+// budget with its eviction/overflow accounting, and — when the governor
+// ran — the degradation-ladder position with its transition history
+// (docs/ROBUSTNESS.md).
+func printHealthReport(h core.Health) {
+	fmt.Printf("profiling health: tier=%s\n", h.Tier)
+	b := h.Budget
+	if b.MaxContexts > 0 {
+		fmt.Printf("  context budget: %d max, %d interned, %d tracked by profiler, %d live instances\n",
+			b.MaxContexts, b.TableContexts, b.ProfilerContexts, b.LiveInstances)
+		fmt.Printf("  overflow: %d denied admissions, %d evictions, %d allocs attributed to %s\n",
+			b.TableOverflowAdmissions, b.Evictions, b.OverflowAllocs, alloctx.OverflowLabel)
+	}
+	if g := h.Governor; g != nil {
+		fmt.Printf("  governor: target overhead %.2f%%, last measured %.2f%%, rate 1/%d, %d transitions\n",
+			100*g.TargetOverhead, 100*g.LastOverhead, g.Rate, g.TransitionCount)
+		for _, tr := range g.Transitions {
+			fmt.Printf("    tick %d: %s -> %s (rate 1/%d, overhead %.2f%%, %s)\n",
+				tr.Tick, tr.From, tr.To, tr.Rate, 100*tr.Overhead, tr.Reason)
+		}
+	}
+	fmt.Println()
 }
 
 // printOnlineReport summarizes the guarded online adaptation: the

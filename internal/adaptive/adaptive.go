@@ -157,6 +157,13 @@ type Selector struct {
 	panicsTotal atomic.Int64 // contained rule-evaluation panics
 	disabled    atomic.Bool  // panic budget exhausted: defaults only
 	disabledBy  atomic.Pointer[string]
+
+	// paused suspends claiming new decisions and verifications (cached
+	// decisions keep applying). The overhead governor sets it in the
+	// heap-only and off tiers: with instance profiling shed, windows
+	// starve, and judging a decision on starved evidence would quarantine
+	// healthy contexts (docs/ROBUSTNESS.md "Degradation ladder").
+	paused atomic.Bool
 }
 
 // New builds an online selector reading evidence from prof.
@@ -206,10 +213,11 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 	}
 	st := v.(*decisionState)
 
+	paused := s.paused.Load()
 	st.mu.Lock()
 	st.allocs++
 	action := actNone
-	if !st.deciding {
+	if !st.deciding && !paused {
 		if st.allocs >= st.nextCheck &&
 			(!st.decided || s.opts.ReevaluateEvery > 0 || st.status == StatusQuarantined) {
 			// Claim the evaluation: concurrent allocations crossing the

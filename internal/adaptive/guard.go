@@ -145,6 +145,19 @@ func (s *Selector) Disabled() (bool, string) {
 	return true, ""
 }
 
+// Pause suspends (or resumes) claiming new decisions and verifications;
+// cached decisions keep applying and Select stays cheap. The overhead
+// governor pauses the selector in the heap-only and off tiers, where
+// instance profiling is shed and evidence windows starve — verification
+// would otherwise judge healthy decisions on vacuous windows. Unpausing
+// resumes claims on the next threshold crossing; a window that stayed
+// open while paused is still subject to the MinWindowEvidence gate, so
+// starved evidence postpones judgment rather than triggering rollback.
+func (s *Selector) Pause(p bool) { s.paused.Store(p) }
+
+// Paused reports whether decision/verification claiming is suspended.
+func (s *Selector) Paused() bool { return s.paused.Load() }
+
 // runVerify scores one claimed verification: it snapshots the context's
 // post-decision evidence window and checks the applied decision's premise
 // against it. A violation rolls the context back to the declared default

@@ -110,12 +110,11 @@ func TestVerifiedStablePhase(t *testing.T) {
 // exponentially growing backoff, so the selector stops re-trying it at a
 // geometric rate — the hysteresis that makes flapping converge.
 func TestFlappingQuarantineBackoffGrows(t *testing.T) {
-	defer faults.Disarm()
 	prof := profiler.New()
 	tbl := alloctx.NewTable()
 	key := seedContext(prof, tbl, "guard.test:flap", 4, 1)
 	sel := New(prof, Options{MinEvidence: 1, PanicBudget: -1, QuarantineBackoff: 2, BackoffMax: 16})
-	faults.Arm(&faults.Plan{RuleEvalPanic: func() (any, bool) { return "flap", true }})
+	faults.ArmT(t, &faults.Plan{RuleEvalPanic: func() (any, bool) { return "flap", true }})
 
 	def := collections.Decision{Impl: spec.KindHashMap}
 	var growth []int64
@@ -152,13 +151,12 @@ func TestFlappingQuarantineBackoffGrows(t *testing.T) {
 // whole selector degrades to defaults — fresh contexts are not evaluated
 // at all.
 func TestPanicBudgetDisablesSelector(t *testing.T) {
-	defer faults.Disarm()
 	prof := profiler.New()
 	tbl := alloctx.NewTable()
 	keyA := seedContext(prof, tbl, "guard.test:budgetA", 4, 1)
 	keyB := seedContext(prof, tbl, "guard.test:budgetB", 4, 1)
 	sel := New(prof, Options{MinEvidence: 1, PanicBudget: 2, QuarantineBackoff: 1})
-	faults.Arm(&faults.Plan{RuleEvalPanic: func() (any, bool) { return "persistent", true }})
+	faults.ArmT(t, &faults.Plan{RuleEvalPanic: func() (any, bool) { return "persistent", true }})
 
 	def := collections.Decision{Impl: spec.KindHashMap}
 	for i := 0; i < 5; i++ {
@@ -187,14 +185,12 @@ func TestPanicBudgetDisablesSelector(t *testing.T) {
 // TestCorruptSnapshotContained: a corrupted or vanished snapshot must
 // degrade the context to its default, never crash or wedge the selector.
 func TestCorruptSnapshotContained(t *testing.T) {
-	defer faults.Disarm()
-
 	// Vanished snapshot: the context decides default and stays healthy.
 	prof := profiler.New()
 	tbl := alloctx.NewTable()
 	key := seedContext(prof, tbl, "guard.test:corrupt1", 4, 1)
 	sel := New(prof, Options{MinEvidence: 1})
-	faults.Arm(&faults.Plan{CorruptSnapshot: func(uint64, any) any { return nil }})
+	faults.ArmT(t, &faults.Plan{CorruptSnapshot: func(uint64, any) any { return nil }})
 	def := collections.Decision{Impl: spec.KindHashMap}
 	if got := sel.Select(key, spec.KindHashMap, def); got != def {
 		t.Fatalf("vanished snapshot produced a replacement: %+v", got)
@@ -209,7 +205,7 @@ func TestCorruptSnapshotContained(t *testing.T) {
 	tbl2 := alloctx.NewTable()
 	key2 := seedContext(prof2, tbl2, "guard.test:corrupt2", 4, 1)
 	sel2 := New(prof2, Options{MinEvidence: 1})
-	faults.Arm(&faults.Plan{CorruptSnapshot: func(_ uint64, snap any) any {
+	faults.ArmT(t, &faults.Plan{CorruptSnapshot: func(_ uint64, snap any) any {
 		p, _ := snap.(*profiler.Profile)
 		if p != nil {
 			p.MaxSizeAvg = math.NaN()
@@ -229,12 +225,11 @@ func TestCorruptSnapshotContained(t *testing.T) {
 // released on every exit path and the context must recover after the
 // quarantine expires.
 func TestDecidingFlagReleasedOnPanic(t *testing.T) {
-	defer faults.Disarm()
 	prof := profiler.New()
 	tbl := alloctx.NewTable()
 	key := seedContext(prof, tbl, "guard.test:leak", 4, 1)
 	sel := New(prof, Options{MinEvidence: 1, PanicBudget: -1, QuarantineBackoff: 1})
-	faults.Arm(&faults.Plan{RuleEvalPanic: faults.PanicOnce("once", 1)})
+	faults.ArmT(t, &faults.Plan{RuleEvalPanic: faults.PanicOnce("once", 1)})
 
 	def := collections.Decision{Impl: spec.KindHashMap}
 	if got := sel.Select(key, spec.KindHashMap, def); got != def {
@@ -307,11 +302,10 @@ func TestReevaluationFlipsCachedDecision(t *testing.T) {
 // no wedged claims, a fresh allocation still works, and the counters are
 // consistent.
 func TestGuardedConcurrentPhaseShift(t *testing.T) {
-	defer faults.Disarm()
 	rt, sel, _ := runtimeWithSelector(Options{
 		MinEvidence: 8, VerifyEvery: 8, MinWindowEvidence: 2, PanicBudget: -1,
 	})
-	faults.Arm(&faults.Plan{RuleEvalPanic: faults.PanicOnce("sporadic", 2)})
+	faults.ArmT(t, &faults.Plan{RuleEvalPanic: faults.PanicOnce("sporadic", 2)})
 	at := collections.At("guard.test:conc")
 
 	var wg sync.WaitGroup

@@ -147,7 +147,20 @@ type Table struct {
 	// context had to be stored at a probed key.
 	count      atomic.Int64
 	collisions atomic.Int64
+
+	// maxContexts, when > 0, caps how many distinct contexts the table will
+	// intern; captures beyond the cap resolve to the shared overflow
+	// context instead of growing the table (docs/ROBUSTNESS.md "Budgets").
+	// denied counts such redirected admissions.
+	maxContexts atomic.Int64
+	denied      atomic.Int64
+	overflow    atomic.Pointer[Context]
 }
+
+// OverflowLabel is the label of the shared aggregate context that absorbs
+// captures denied by the context budget (and, in the profiler, the
+// statistics of evicted cold contexts).
+const OverflowLabel = "(overflow)"
 
 // NewTable returns an empty context table.
 func NewTable() *Table {
@@ -172,7 +185,14 @@ func (t *Table) Static(label string) *Context {
 // matching context or a free slot is found, instead of silently merging
 // the two contexts' profiles. same reports whether an occupant is the
 // context being interned; mk builds the context for the key it ends up at.
-func (t *Table) intern(key uint64, same func(*Context) bool, mk func(uint64) *Context) *Context {
+//
+// admit=false subjects the creation of a *new* context to the context
+// budget: when the table is full the capture is redirected to the shared
+// overflow context. Existing contexts always resolve, budget or not. The
+// check is racy-exact — concurrent first captures may briefly overshoot
+// the cap by the number of racing goroutines — which is the usual bound
+// for an admission counter that must not serialize the hot path.
+func (t *Table) intern(key uint64, admit bool, same func(*Context) bool, mk func(uint64) *Context) *Context {
 	probed := false
 	for {
 		if c, ok := t.byKey.Load(key); ok {
@@ -181,6 +201,10 @@ func (t *Table) intern(key uint64, same func(*Context) bool, mk func(uint64) *Co
 				return ctx
 			}
 		} else {
+			if !admit && t.full() {
+				t.denied.Add(1)
+				return t.Overflow()
+			}
 			c, loaded := t.byKey.LoadOrStore(key, mk(key))
 			ctx := c.(*Context)
 			if !loaded {
@@ -203,10 +227,51 @@ func (t *Table) intern(key uint64, same func(*Context) bool, mk func(uint64) *Co
 	}
 }
 
+// full reports whether the context budget (if any) is exhausted.
+func (t *Table) full() bool {
+	max := t.maxContexts.Load()
+	return max > 0 && t.count.Load() >= max
+}
+
+// SetMaxContexts installs the context budget: at most n distinct contexts
+// are interned (the shared overflow context rides on top, so Len() is
+// bounded by n+1); further captures resolve to Overflow(). n <= 0 removes
+// the budget. Raising or removing a budget mid-run re-admits new contexts
+// but never un-redirects traffic already attributed to overflow.
+func (t *Table) SetMaxContexts(n int) {
+	t.maxContexts.Store(int64(n))
+}
+
+// MaxContexts reports the current context budget (0 = unbounded).
+func (t *Table) MaxContexts() int { return int(t.maxContexts.Load()) }
+
+// OverflowAdmissions reports how many captures were redirected to the
+// overflow context because the budget was exhausted.
+func (t *Table) OverflowAdmissions() int64 { return t.denied.Load() }
+
+// Overflow returns the table's shared overflow context, interning it on
+// first use (exempt from the budget). All denied captures alias to this
+// one context, so downstream per-context maps stay bounded too.
+func (t *Table) Overflow() *Context {
+	if c := t.overflow.Load(); c != nil {
+		return c
+	}
+	c := t.intern(hashString("static:"+OverflowLabel), true,
+		func(c *Context) bool { return c.label == OverflowLabel },
+		func(key uint64) *Context { return &Context{key: key, label: OverflowLabel} })
+	t.overflow.CompareAndSwap(nil, c)
+	return t.overflow.Load()
+}
+
 func (t *Table) staticSlow(label string) *Context {
-	ctx := t.intern(hashString("static:"+label),
+	ctx := t.intern(hashString("static:"+label), false,
 		func(c *Context) bool { return c.label == label },
 		func(key uint64) *Context { return &Context{key: key, label: label} })
+	if ctx.label != label {
+		// Budget denial: do not memoize label→overflow, so the label is
+		// re-admitted naturally if the budget is raised later.
+		return ctx
+	}
 	t.staticMu.Lock()
 	nm := make(map[string]*Context, 8)
 	if old := t.statics.Load(); old != nil {
@@ -258,7 +323,7 @@ func (t *Table) CaptureDynamic(skip, depth int) *Context {
 		}
 	}
 	owned := append([]uintptr(nil), pcs...) // pcbuf is stack memory
-	return t.intern(key,
+	return t.intern(key, false,
 		func(c *Context) bool { return c.samePCs(pcs) },
 		func(key uint64) *Context { return &Context{key: key, pcs: owned, frames: frames} })
 }
@@ -285,8 +350,10 @@ func (t *Table) Lookup(key uint64) *Context {
 	return nil
 }
 
-// Len reports the number of interned contexts. Contexts are only ever
-// added, so this is one atomic load.
+// Len reports the number of interned contexts (one atomic load). With a
+// context budget installed this is bounded by MaxContexts()+1: budget
+// denials alias to the overflow context instead of interning, and the
+// overflow context itself rides on top of the budget.
 func (t *Table) Len() int {
 	return int(t.count.Load())
 }
@@ -345,17 +412,42 @@ func (m Mode) String() string {
 // depends on interleaving. Single-threaded behaviour is unchanged — the
 // first capture happens on the rate-th call.
 type Sampler struct {
-	rate  int64
+	rate  atomic.Int64
 	count atomic.Int64
 }
 
 // NewSampler returns a sampler with the given 1-in-rate policy.
-func NewSampler(rate int) *Sampler { return &Sampler{rate: int64(rate)} }
+func NewSampler(rate int) *Sampler {
+	s := &Sampler{}
+	s.rate.Store(int64(rate))
+	return s
+}
+
+// SetRate changes the 1-in-rate policy. The rate is read atomically on
+// every Sample, so the overhead governor can decay it while allocating
+// goroutines run (the sampled tier's "rate decay").
+func (s *Sampler) SetRate(rate int) {
+	if s != nil {
+		s.rate.Store(int64(rate))
+	}
+}
+
+// Rate reports the current 1-in-rate policy.
+func (s *Sampler) Rate() int {
+	if s == nil {
+		return 1
+	}
+	return int(s.rate.Load())
+}
 
 // Sample reports whether this allocation should capture context.
 func (s *Sampler) Sample() bool {
-	if s == nil || s.rate <= 1 {
+	if s == nil {
 		return true
 	}
-	return s.count.Add(1)%s.rate == 0
+	rate := s.rate.Load()
+	if rate <= 1 {
+		return true
+	}
+	return s.count.Add(1)%rate == 0
 }

@@ -17,8 +17,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chameleon/internal/alloctx"
+	"chameleon/internal/governor"
 	"chameleon/internal/heap"
 	"chameleon/internal/profiler"
 	"chameleon/internal/spec"
@@ -67,6 +69,9 @@ type Config struct {
 	// Selector, when non-nil, chooses implementations at allocation time
 	// (online mode).
 	Selector Selector
+	// Meter, when non-nil, receives the self-measured cost of epoch
+	// flushes for the overhead governor (docs/ROBUSTNESS.md).
+	Meter *governor.Meter
 }
 
 // Runtime carries the shared state every collection wrapper needs. A nil
@@ -86,6 +91,14 @@ type Runtime struct {
 	depth    int
 	sampler  *alloctx.Sampler
 	model    heap.SizeModel
+	meter    *governor.Meter
+
+	// Degradation-ladder state, written by the overhead governor through
+	// SetProfilingTier and read (one atomic load) on every allocation.
+	// govSampler elects the 1-in-rate allocations that still get an
+	// instance record in the sampled tier.
+	govTier    atomic.Int32
+	govSampler *alloctx.Sampler
 
 	// mu serializes the (rare) writers of the copy-on-write fields below;
 	// readers load the pointers without locking.
@@ -109,12 +122,14 @@ type selectorBox struct{ s Selector }
 // NewRuntime builds a runtime from cfg.
 func NewRuntime(cfg Config) *Runtime {
 	rt := &Runtime{
-		heap:     cfg.Heap,
-		prof:     cfg.Profiler,
-		contexts: cfg.Contexts,
-		mode:     cfg.Mode,
-		depth:    cfg.Depth,
-		model:    heap.Model32,
+		heap:       cfg.Heap,
+		prof:       cfg.Profiler,
+		contexts:   cfg.Contexts,
+		mode:       cfg.Mode,
+		depth:      cfg.Depth,
+		model:      heap.Model32,
+		meter:      cfg.Meter,
+		govSampler: alloctx.NewSampler(1),
 	}
 	rt.selector.Store(&selectorBox{s: cfg.Selector})
 	if rt.depth <= 0 {
@@ -193,6 +208,32 @@ func (rt *Runtime) SetSelector(s Selector) {
 	}
 }
 
+// SetProfilingTier moves the runtime to a rung of the degradation ladder
+// (normally called by the overhead governor; see governor.Tier for the
+// per-tier semantics). rate is the instance-sampling rate for
+// TierSampled; it is ignored (forced to 1) by the other tiers. Safe to
+// call while other goroutines allocate: each allocation sees one coherent
+// tier. Profiling is passive, so tier changes never alter what the
+// program computes — only how much of it is observed.
+func (rt *Runtime) SetProfilingTier(t governor.Tier, rate int) {
+	if rt == nil {
+		return
+	}
+	if t != governor.TierSampled || rate < 1 {
+		rate = 1
+	}
+	rt.govSampler.SetRate(rate)
+	rt.govTier.Store(int32(t))
+}
+
+// ProfilingTier reports the runtime's current degradation-ladder rung.
+func (rt *Runtime) ProfilingTier() governor.Tier {
+	if rt == nil {
+		return governor.TierOff
+	}
+	return governor.Tier(rt.govTier.Load())
+}
+
 // Model reports the size model footprints are computed against.
 func (rt *Runtime) Model() heap.SizeModel {
 	if rt == nil {
@@ -256,6 +297,12 @@ func Impl(k spec.Kind) Option { return func(o *allocOpts) { o.forceImpl = k } }
 // the constructor).
 func (rt *Runtime) resolveContext(o *allocOpts, declared spec.Kind) *alloctx.Context {
 	if rt == nil {
+		return nil
+	}
+	if governor.Tier(rt.govTier.Load()) == governor.TierOff {
+		// Bottom of the ladder: nothing downstream consumes the context
+		// (no instance, no heap ticket), so skip capture — in dynamic
+		// mode that is the stack walk, the dominant §5.4 cost.
 		return nil
 	}
 	switch rt.mode {
@@ -414,10 +461,15 @@ func (rt *Runtime) install(b *base, c heap.Collection, ctx *alloctx.Context, dec
 	if rt == nil {
 		return
 	}
-	if rt.prof != nil && !rt.trackingDisabled(declared) {
-		b.inst = rt.prof.OnAlloc(ctx, declared, dec.Impl, dec.Capacity)
+	tier := governor.Tier(rt.govTier.Load())
+	if rt.prof != nil && tier <= governor.TierSampled && !rt.trackingDisabled(declared) {
+		// TierSampled: only the govSampler-elected 1-in-rate allocations
+		// still pay for an instance record (alloctx.Sampler rate decay).
+		if tier == governor.TierFull || rt.govSampler.Sample() {
+			b.inst = rt.prof.OnAlloc(ctx, declared, dec.Impl, dec.Capacity)
+		}
 	}
-	if rt.heap != nil {
+	if rt.heap != nil && tier <= governor.TierHeapOnly {
 		rt.heap.RegisterInto(c, &b.tk)
 		b.ticket = &b.tk
 	}
@@ -536,6 +588,19 @@ func (b *base) noteListIterator(size int) {
 // with identical per-owner streams publish identical readings regardless
 // of goroutine interleaving — the determinism the concurrent tests assert.
 func (b *base) flush() {
+	// Self-measurement for the overhead governor: 1-in-N flushes are
+	// timed (scaled back up by the meter), the rest pay one atomic add.
+	// Ungoverned runtimes (meter nil) pay a pointer compare.
+	if rt := b.rt; rt != nil && rt.meter != nil && rt.meter.SampleFlush() {
+		start := time.Now()
+		b.flushNow()
+		rt.meter.RecordFlush(time.Since(start))
+		return
+	}
+	b.flushNow()
+}
+
+func (b *base) flushNow() {
 	if in := b.inst; in != nil {
 		in.FlushPending(int64(b.tk.Ep.CurSize))
 	}

@@ -7,10 +7,13 @@
 package core
 
 import (
+	"time"
+
 	"chameleon/internal/adaptive"
 	"chameleon/internal/advisor"
 	"chameleon/internal/alloctx"
 	"chameleon/internal/collections"
+	"chameleon/internal/governor"
 	"chameleon/internal/heap"
 	"chameleon/internal/profiler"
 	"chameleon/internal/stats"
@@ -54,6 +57,22 @@ type Config struct {
 	Generational bool
 	// MinorPerMajor is the generational minor:major cadence (default 4).
 	MinorPerMajor int
+	// MaxContexts, when positive, is the context budget: the alloctx
+	// table interns at most this many distinct contexts (further captures
+	// alias to the shared overflow context), the profiler evicts cold
+	// contexts into the overflow aggregate to stay near the budget, and
+	// GC cycles cap their per-context maps the same way — bounding
+	// profiling memory under unbounded context cardinality
+	// (docs/ROBUSTNESS.md "Budgets").
+	MaxContexts int
+	// OverheadBudget, when positive, enables the overhead governor with
+	// this target profiling-cost fraction (e.g. 0.05 = 5% of wall time);
+	// the governor walks the runtime down the degradation ladder when the
+	// self-measured cost exceeds it. Zero leaves the governor off.
+	OverheadBudget float64
+	// GovernorOptions tune the governor beyond the budget; the
+	// TargetOverhead field is overridden by OverheadBudget.
+	GovernorOptions governor.Config
 }
 
 // Session is one profiled program run.
@@ -62,30 +81,51 @@ type Session struct {
 	Prof     *profiler.Profiler
 	Contexts *alloctx.Table
 	Selector *adaptive.Selector
+	// Governor is the overhead governor, non-nil only when
+	// Config.OverheadBudget was positive. Start/Stop it around the run
+	// (the CLI does), or drive Tick directly in tests.
+	Governor *governor.Governor
 
-	rt *collections.Runtime
+	rt          *collections.Runtime
+	meter       *governor.Meter
+	maxContexts int
 }
 
 // NewSession builds a fully wired session.
 func NewSession(cfg Config) *Session {
-	s := &Session{Contexts: alloctx.NewTable()}
+	s := &Session{Contexts: alloctx.NewTable(), maxContexts: cfg.MaxContexts}
 	if cfg.Mode == 0 {
 		cfg.Mode = alloctx.Static
+	}
+	var overflowKey uint64
+	if cfg.MaxContexts > 0 {
+		s.Contexts.SetMaxContexts(cfg.MaxContexts)
+		overflowKey = s.Contexts.Overflow().Key()
+	}
+	if cfg.OverheadBudget > 0 {
+		s.meter = governor.NewMeter()
 	}
 	var obs heap.Observer
 	if !cfg.NoProfiling {
 		s.Prof = profiler.New()
+		if cfg.MaxContexts > 0 {
+			s.Prof.SetBudget(cfg.MaxContexts, s.Contexts.Overflow())
+		}
+		s.Prof.SetMeter(s.meter)
 		obs = s.Prof
 	}
 	s.Heap = heap.New(heap.Config{
-		Model:         cfg.Model,
-		GCThreshold:   cfg.GCThreshold,
-		Observer:      obs,
-		KeepSnapshots: !cfg.DropSnapshots,
-		KeepContexts:  cfg.KeepContexts,
-		Generational:  cfg.Generational,
-		MinorPerMajor: cfg.MinorPerMajor,
-		Limit:         cfg.Limit,
+		Model:              cfg.Model,
+		GCThreshold:        cfg.GCThreshold,
+		Observer:           obs,
+		KeepSnapshots:      !cfg.DropSnapshots,
+		KeepContexts:       cfg.KeepContexts,
+		Generational:       cfg.Generational,
+		MinorPerMajor:      cfg.MinorPerMajor,
+		Limit:              cfg.Limit,
+		MaxContexts:        cfg.MaxContexts,
+		OverflowContextKey: overflowKey,
+		Meter:              s.meter,
 	})
 	sel := cfg.Selector
 	if cfg.Online && s.Prof != nil {
@@ -100,12 +140,97 @@ func NewSession(cfg Config) *Session {
 		Depth:      cfg.Depth,
 		SampleRate: cfg.SampleRate,
 		Selector:   sel,
+		Meter:      s.meter,
 	})
+	if cfg.OverheadBudget > 0 {
+		gcfg := cfg.GovernorOptions
+		gcfg.TargetOverhead = cfg.OverheadBudget
+		s.Governor = governor.New(s.meter, gcfg)
+		rt, adaptiveSel := s.rt, s.Selector
+		s.Governor.SetApply(func(t governor.Tier, rate int) {
+			rt.SetProfilingTier(t, rate)
+			if adaptiveSel != nil {
+				// Heap-only and off shed instance profiling; verification
+				// would judge decisions on starved evidence windows.
+				adaptiveSel.Pause(t >= governor.TierHeapOnly)
+			}
+		})
+	}
 	return s
 }
 
 // Runtime reports the collections runtime workloads allocate through.
 func (s *Session) Runtime() *collections.Runtime { return s.rt }
+
+// StartGovernor begins governor ticking at the given interval (<=0 picks
+// the default); a no-op when the session has no governor. Call
+// StopGovernor before reading end-of-run reports.
+func (s *Session) StartGovernor(interval time.Duration) {
+	if s.Governor != nil {
+		s.Governor.Start(interval)
+	}
+}
+
+// StopGovernor halts governor ticking; a no-op without a governor.
+func (s *Session) StopGovernor() {
+	if s.Governor != nil {
+		s.Governor.Stop()
+	}
+}
+
+// BudgetHealth reports where the context budget stands.
+type BudgetHealth struct {
+	// MaxContexts is the configured budget (0 = unbounded).
+	MaxContexts int `json:"maxContexts"`
+	// TableContexts is the number of interned allocation contexts.
+	TableContexts int `json:"tableContexts"`
+	// TableOverflowAdmissions counts captures redirected to the overflow
+	// context because the table budget was exhausted.
+	TableOverflowAdmissions int64 `json:"tableOverflowAdmissions"`
+	// ProfilerContexts is the number of currently-tracked profiler contexts.
+	ProfilerContexts int `json:"profilerContexts"`
+	// Evictions counts profiler contexts folded into the overflow aggregate.
+	Evictions int64 `json:"evictions"`
+	// OverflowAllocs is the allocation traffic attributed to the overflow
+	// context (denied admissions plus evicted contexts' history).
+	OverflowAllocs int64 `json:"overflowAllocs"`
+	// LiveInstances is the number of currently tracked live collections.
+	LiveInstances int `json:"liveInstances"`
+}
+
+// Health is the session's overload-protection snapshot: the degradation-
+// ladder position plus budget/eviction accounting (docs/ROBUSTNESS.md).
+type Health struct {
+	Tier     governor.Tier    `json:"tier"`
+	Governor *governor.Health `json:"governor,omitempty"`
+	Budget   BudgetHealth     `json:"budget"`
+}
+
+// Health snapshots the session's overload-protection state.
+func (s *Session) Health() Health {
+	h := Health{Tier: s.rt.ProfilingTier()}
+	if s.Governor != nil {
+		gh := s.Governor.Health()
+		h.Governor = &gh
+		h.Tier = gh.Tier
+	}
+	h.Budget.MaxContexts = s.maxContexts
+	if s.Contexts != nil {
+		h.Budget.TableContexts = s.Contexts.Len()
+		h.Budget.TableOverflowAdmissions = s.Contexts.OverflowAdmissions()
+	}
+	if s.Prof != nil {
+		h.Budget.ProfilerContexts = s.Prof.Contexts()
+		h.Budget.Evictions = s.Prof.Evictions()
+		h.Budget.LiveInstances = s.Prof.LiveInstances()
+		if key := s.Prof.OverflowKey(); key != 0 {
+			if p := s.Prof.SnapshotContext(key); p != nil {
+				h.Budget.OverflowAllocs = p.Allocs
+			}
+		}
+	}
+	return h
+}
 
 // Report snapshots the profiler and applies the rule engine.
 func (s *Session) Report(opts advisor.Options) (*advisor.Report, error) {

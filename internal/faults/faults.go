@@ -31,12 +31,45 @@ type Plan struct {
 	// and importable from every layer. Returning snapshot unchanged passes
 	// through; returning nil simulates a vanished context.
 	CorruptSnapshot func(ctxKey uint64, snapshot any) any
+	// TornWrite, when it returns fire=true, replaces the bytes a snapshot
+	// writer is about to persist with the returned slice — typically a
+	// prefix, simulating a crash (or full disk) mid-write. Consulted by
+	// profiler.WriteProfilesFile after serialization, before any I/O.
+	TornWrite func(data []byte) (torn []byte, fire bool)
+	// CorruptRecord may mutate one serialized snapshot record before it is
+	// written. index is the zero-based record position; returning fire=false
+	// leaves the record untouched. Consulted by profiler.WriteProfiles for
+	// every record — the "bit rot / partial overwrite" fault.
+	CorruptRecord func(index int, record []byte) (mutated []byte, fire bool)
+	// OverheadSpike may inflate the profiling-cost reading the overhead
+	// governor took for one source ("flush", "gcWalk", "windowFold") this
+	// tick — the "profiling pathologically expensive" fault that drives
+	// the degradation-ladder tests. Returning fire=false keeps the real
+	// measurement.
+	OverheadSpike func(source string, nanos int64) (inflated int64, fire bool)
 }
 
 var active atomic.Pointer[Plan]
 
 // Arm installs the plan; it stays active until Disarm.
 func Arm(p *Plan) { active.Store(p) }
+
+// TB is the subset of *testing.T that ArmT needs. Declared locally so this
+// production-linked package never imports testing.
+type TB interface {
+	Helper()
+	Cleanup(func())
+}
+
+// ArmT arms the plan for the duration of one test and auto-Disarms it via
+// t.Cleanup, so a failing (or forgetful) test can never leak its faults
+// into the rest of the suite. The registry is process-global: tests using
+// ArmT still must not run in t.Parallel with other fault-injection tests.
+func ArmT(t TB, p *Plan) {
+	t.Helper()
+	Arm(p)
+	t.Cleanup(Disarm)
+}
 
 // Disarm removes any armed plan.
 func Disarm() { active.Store(nil) }
@@ -63,6 +96,36 @@ func CorruptSnapshot(ctxKey uint64, snapshot any) any {
 		return snapshot
 	}
 	return pl.CorruptSnapshot(ctxKey, snapshot)
+}
+
+// TornWrite passes serialized snapshot bytes through the armed plan's
+// torn-write fault. Called by the atomic snapshot writer before any I/O.
+func TornWrite(data []byte) ([]byte, bool) {
+	pl := active.Load()
+	if pl == nil || pl.TornWrite == nil {
+		return data, false
+	}
+	return pl.TornWrite(data)
+}
+
+// CorruptRecord passes one serialized snapshot record through the armed
+// plan's record-corruption fault.
+func CorruptRecord(index int, record []byte) ([]byte, bool) {
+	pl := active.Load()
+	if pl == nil || pl.CorruptRecord == nil {
+		return record, false
+	}
+	return pl.CorruptRecord(index, record)
+}
+
+// OverheadSpike passes one governor cost reading through the armed plan's
+// overhead fault.
+func OverheadSpike(source string, nanos int64) (int64, bool) {
+	pl := active.Load()
+	if pl == nil || pl.OverheadSpike == nil {
+		return nanos, false
+	}
+	return pl.OverheadSpike(source, nanos)
 }
 
 // PanicOnce returns a RuleEvalPanic hook that fires exactly n times with

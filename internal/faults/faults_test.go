@@ -52,3 +52,55 @@ func TestArmDisarmConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// recordingTB is a minimal TB that runs cleanups like testing.T does, so
+// the ArmT contract can be tested without nesting real tests.
+type recordingTB struct {
+	helper   bool
+	cleanups []func()
+}
+
+func (r *recordingTB) Helper()           { r.helper = true }
+func (r *recordingTB) Cleanup(fn func()) { r.cleanups = append(r.cleanups, fn) }
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+// TestArmTDisarmsOnCleanup: ArmT arms immediately and registers a Disarm
+// cleanup, so a fault plan can never leak past the test that armed it —
+// the cross-test-leakage fix.
+func TestArmTDisarmsOnCleanup(t *testing.T) {
+	defer Disarm()
+	tb := &recordingTB{}
+	ArmT(tb, &Plan{RuleEvalPanic: func() (any, bool) { return "leak-check", true }})
+	if !Armed() {
+		t.Fatal("ArmT did not arm")
+	}
+	if _, fire := RuleEvalPanic(); !fire {
+		t.Fatal("armed hook did not fire")
+	}
+	tb.runCleanups()
+	if Armed() {
+		t.Fatal("plan leaked past the test's cleanup phase")
+	}
+	if _, fire := RuleEvalPanic(); fire {
+		t.Fatal("hook still firing after cleanup")
+	}
+}
+
+// TestNewHooksDisarmedAreNoOps: the persistence and governor hooks follow
+// the registry's disarmed-is-free contract.
+func TestNewHooksDisarmedAreNoOps(t *testing.T) {
+	Disarm()
+	if _, ok := TornWrite([]byte("x")); ok {
+		t.Fatal("disarmed TornWrite fired")
+	}
+	if _, ok := CorruptRecord(0, []byte("x")); ok {
+		t.Fatal("disarmed CorruptRecord fired")
+	}
+	if _, ok := OverheadSpike("flush", 7); ok {
+		t.Fatal("disarmed OverheadSpike fired")
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"chameleon/internal/governor"
 )
 
 // Collection is the semantic-map interface: any object registered with the
@@ -100,6 +103,19 @@ type Config struct {
 	// (§2.1, §5.2) is made operational: a run completes iff its peak live
 	// data fits the limit.
 	Limit int64
+	// MaxContexts, when positive, caps the distinct context keys a single
+	// GC cycle's PerContext map may carry; further keys aggregate into the
+	// OverflowContextKey entry. This bounds per-cycle memory even for
+	// heap-only collections that bypass the alloctx.Table budget
+	// (docs/ROBUSTNESS.md "Budgets").
+	MaxContexts int
+	// OverflowContextKey is the context key that absorbs per-cycle entries
+	// beyond MaxContexts (normally alloctx.Table.Overflow().Key(); key 0 —
+	// "no context" — is used if left unset).
+	OverflowContextKey uint64
+	// Meter, when non-nil, receives the self-measured cost of every GC
+	// walk for the overhead governor.
+	Meter *governor.Meter
 }
 
 // OOMError is the panic value raised when the heap limit is exceeded.
@@ -155,6 +171,9 @@ type Heap struct {
 	generational  bool
 	minorPerMajor int
 	limit         int64
+	maxContexts   int
+	overflowKey   uint64
+	meter         *governor.Meter
 
 	// Allocation-path accounting: contention-free atomics. Total allocation
 	// volume is not a counter of its own — it is derived as
@@ -211,6 +230,9 @@ func New(cfg Config) *Heap {
 		generational:  cfg.Generational,
 		minorPerMajor: cfg.MinorPerMajor,
 		limit:         cfg.Limit,
+		maxContexts:   cfg.MaxContexts,
+		overflowKey:   cfg.OverflowContextKey,
+		meter:         cfg.Meter,
 	}
 }
 
@@ -571,6 +593,10 @@ func (h *Heap) GC() {
 }
 
 func (h *Heap) gcLocked() {
+	var walkStart time.Time
+	if h.meter != nil {
+		walkStart = time.Now()
+	}
 	h.numGC++
 	cs := CycleStats{
 		Cycle:      h.numGC,
@@ -592,14 +618,26 @@ func (h *Heap) gcLocked() {
 				}
 				coll = coll.Add(f)
 				cs.TypeDist[*t.kind.Load()] += f.Live
-				cc := cs.PerContext[t.ctxKey]
+				key := t.ctxKey
+				if h.maxContexts > 0 {
+					// Per-cycle context budget: keys beyond the cap fold
+					// into the overflow entry, bounding the map even for
+					// contexts that bypassed the table budget.
+					if _, seen := cs.PerContext[key]; !seen && len(cs.PerContext) >= h.maxContexts {
+						key = h.overflowKey
+					}
+				}
+				cc := cs.PerContext[key]
 				cc.Footprint = cc.Footprint.Add(f)
 				cc.Objects++
-				cs.PerContext[t.ctxKey] = cc
+				cs.PerContext[key] = cc
 				objects++
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if h.meter != nil {
+		h.meter.Record(governor.SrcGCWalk, time.Since(walkStart))
 	}
 	cs.Collections = coll
 	cs.CollectionObjects = objects

@@ -1,0 +1,151 @@
+package profiler
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/spec"
+)
+
+// stormProfiler runs a fixed allocation pattern — a small hot set touched
+// repeatedly plus a cold tail of one-shot contexts — against a profiler
+// with the given budget and returns (profiler, total ops recorded).
+func stormProfiler(tab *alloctx.Table, budget int, cold int) (*Profiler, int64) {
+	p := New()
+	if budget > 0 {
+		p.SetBudget(budget, tab.Overflow())
+	}
+	var ops int64
+	touch := func(label string, n int) {
+		ctx := tab.Static(label)
+		in := p.OnAlloc(ctx, spec.KindHashMap, spec.KindHashMap, 0)
+		for j := 0; j < n; j++ {
+			in.Record(spec.Put)
+			ops++
+		}
+		in.NoteSize(n)
+		p.OnDeath(in)
+	}
+	for round := 0; round < 8; round++ {
+		for h := 0; h < 4; h++ {
+			touch(fmt.Sprintf("evict.hot:%d", h), 3)
+		}
+		for c := 0; c < cold/8; c++ {
+			touch(fmt.Sprintf("evict.cold:%d.%d", round, c), 1)
+		}
+	}
+	return p, ops
+}
+
+// TestEvictionBoundsContexts: with a budget below the workload's context
+// cardinality the profiler's tracked-context count stays near the budget
+// (per-shard rounding admits at most ⌈budget/16⌉×16, plus the overflow
+// aggregate), evictions happen, and no recorded operation is lost — the
+// overflow profile absorbs evicted history exactly.
+func TestEvictionBoundsContexts(t *testing.T) {
+	tab := alloctx.NewTable()
+	p, ops := stormProfiler(tab, 16, 64)
+
+	if ev := p.Evictions(); ev == 0 {
+		t.Fatal("no evictions under a 16-context budget with 68 contexts")
+	}
+	// Per-shard budget is ⌈16/16⌉ = 1, so each of the 16 shards holds at
+	// most 1 context plus possibly the overflow aggregate in its shard.
+	if n := p.Contexts(); n > 16+1 {
+		t.Fatalf("tracked contexts = %d, want <= budget+overflow = 17", n)
+	}
+
+	var total int64
+	for _, pr := range p.Snapshot() {
+		total += pr.OpTotals[spec.Put]
+	}
+	if total != ops {
+		t.Fatalf("ops across snapshot = %d, want exact total %d (eviction lost history)", total, ops)
+	}
+}
+
+// TestEvictionExactTotals: the capped profiler's aggregate totals equal
+// the uncapped profiler's — eviction moves history into the overflow
+// context, it never drops it.
+func TestEvictionExactTotals(t *testing.T) {
+	tabA := alloctx.NewTable()
+	capped, opsA := stormProfiler(tabA, 8, 64)
+	tabB := alloctx.NewTable()
+	uncapped, opsB := stormProfiler(tabB, 0, 64)
+	if opsA != opsB {
+		t.Fatalf("drivers diverged: %d vs %d ops", opsA, opsB)
+	}
+
+	sum := func(p *Profiler) (allocs, puts, sizeN int64) {
+		for _, pr := range p.Snapshot() {
+			allocs += pr.Allocs
+			puts += pr.OpTotals[spec.Put]
+		}
+		return
+	}
+	ca, cp, _ := sum(capped)
+	ua, up, _ := sum(uncapped)
+	if ca != ua || cp != up {
+		t.Fatalf("capped totals (allocs=%d puts=%d) != uncapped (allocs=%d puts=%d)", ca, cp, ua, up)
+	}
+	if len(capped.Snapshot()) >= len(uncapped.Snapshot()) {
+		t.Fatalf("capped snapshot has %d contexts, uncapped %d — budget did nothing",
+			len(capped.Snapshot()), len(uncapped.Snapshot()))
+	}
+}
+
+// TestEvictionSparesLiveAndHot: a context with a live instance is never
+// evicted (its Instance still points at the aggregate), and a hot context
+// survives one clock pass.
+func TestEvictionSparesLiveAndHot(t *testing.T) {
+	tab := alloctx.NewTable()
+	p := New()
+	p.SetBudget(1, tab.Overflow()) // per-shard budget 1: maximum pressure
+
+	live := p.OnAlloc(tab.Static("spare.live:0"), spec.KindArrayList, spec.KindArrayList, 0)
+	for i := 0; i < 64; i++ {
+		in := p.OnAlloc(tab.Static(fmt.Sprintf("spare.cold:%d", i)), spec.KindArrayList, spec.KindArrayList, 0)
+		p.OnDeath(in)
+	}
+	// The live context's aggregate must still be reachable and correct.
+	live.Record(spec.Add)
+	live.NoteSize(1)
+	p.OnDeath(live)
+	pr := p.SnapshotContext(tab.Static("spare.live:0").Key())
+	if pr == nil || pr.Allocs != 1 || pr.OpTotals[spec.Add] != 1 {
+		t.Fatalf("live context was evicted out from under its instance: %+v", pr)
+	}
+}
+
+// TestEvictionConcurrentChecksum: eviction under concurrent allocation
+// keeps totals exact (the -race harness for the eviction path).
+func TestEvictionConcurrentChecksum(t *testing.T) {
+	tab := alloctx.NewTable()
+	p := New()
+	p.SetBudget(8, tab.Overflow())
+	const perG, goroutines = 300, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctx := tab.Static(fmt.Sprintf("conc.evict:%d.%d", g, i%32))
+				in := p.OnAlloc(ctx, spec.KindHashSet, spec.KindHashSet, 0)
+				in.Record(spec.Add)
+				p.OnDeath(in)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var allocs, adds int64
+	for _, pr := range p.Snapshot() {
+		allocs += pr.Allocs
+		adds += pr.OpTotals[spec.Add]
+	}
+	if want := int64(perG * goroutines); allocs != want || adds != want {
+		t.Fatalf("totals allocs=%d adds=%d, want %d each", allocs, adds, want)
+	}
+}

@@ -1,9 +1,8 @@
 package profiler
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
+	"math"
 
 	"chameleon/internal/alloctx"
 	"chameleon/internal/heap"
@@ -83,7 +82,83 @@ func (p *Profile) toWire() profileWire {
 	return w
 }
 
+const (
+	// maxWireCount is the sanity ceiling on any deserialized counter: a
+	// count above 2^53 cannot have been produced by this profiler (it
+	// exceeds exact float64 integers, which the Welford statistics flow
+	// through) and marks a corrupt or adversarial record.
+	maxWireCount = int64(1) << 53
+	// maxWireSize is the sanity ceiling on any deserialized size or
+	// statistic (bytes, elements, means): ~1e15, far beyond any simulated
+	// heap this package can represent.
+	maxWireSize = 1e15
+	// maxWireContext caps the context-string length a record may intern;
+	// real contexts are a handful of frames.
+	maxWireContext = 4096
+)
+
+// validate rejects records no run of this profiler could have produced:
+// NaN/Inf or negative statistics, overflowing counts, absurd sizes, more
+// live than allocated instances, or unbounded context strings. Kind and
+// op names are validated separately in toProfile (they need the
+// vocabulary tables).
+func (w profileWire) validate() error {
+	counts := [...]struct {
+		name string
+		v    int64
+	}{
+		{"allocs", w.Allocs}, {"live", w.Live}, {"evidence", w.Evidence},
+		{"emptyIterators", w.EmptyIterators},
+		{"maxLive", w.MaxLive}, {"maxUsed", w.MaxUsed}, {"maxCore", w.MaxCore},
+		{"totLive", w.TotLive}, {"totUsed", w.TotUsed}, {"totCore", w.TotCore},
+		{"totObjects", w.TotObjs}, {"maxObjects", w.MaxObjs}, {"gcCycles", w.GCCycles},
+	}
+	for _, c := range counts {
+		if c.v < 0 || c.v > maxWireCount {
+			return fmt.Errorf("profiler: field %s out of range: %d", c.name, c.v)
+		}
+	}
+	floats := [...]struct {
+		name string
+		v    float64
+	}{
+		{"maxSizeAvg", w.MaxSizeAvg}, {"maxSizeStdDev", w.MaxSizeStdDev},
+		{"maxSizeMax", w.MaxSizeMax}, {"finalSizeAvg", w.FinalSizeAvg},
+		{"initialCapAvg", w.InitialCapAvg},
+	}
+	for _, f := range floats {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 || f.v > maxWireSize {
+			return fmt.Errorf("profiler: field %s out of range: %v", f.name, f.v)
+		}
+	}
+	for name, v := range w.Ops {
+		if v < 0 || v > maxWireCount {
+			return fmt.Errorf("profiler: op count %s out of range: %d", name, v)
+		}
+	}
+	for name, v := range w.OpsMean {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > maxWireSize {
+			return fmt.Errorf("profiler: op mean %s out of range: %v", name, v)
+		}
+	}
+	for name, v := range w.OpsStdDev {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > maxWireSize {
+			return fmt.Errorf("profiler: op stddev %s out of range: %v", name, v)
+		}
+	}
+	if w.Live > w.Allocs {
+		return fmt.Errorf("profiler: live %d exceeds allocs %d", w.Live, w.Allocs)
+	}
+	if w.Context == "" || len(w.Context) > maxWireContext {
+		return fmt.Errorf("profiler: context string length %d out of range", len(w.Context))
+	}
+	return nil
+}
+
 func (w profileWire) toProfile(contexts *alloctx.Table) (*Profile, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
 	declared, ok := spec.KindByName(w.Declared)
 	if !ok {
 		return nil, fmt.Errorf("profiler: unknown declared kind %q", w.Declared)
@@ -143,37 +218,6 @@ func (w profileWire) toProfile(contexts *alloctx.Table) (*Profile, error) {
 	return p, nil
 }
 
-// WriteProfiles serializes a snapshot as a JSON array, enabling the
-// offline workflow: profile once, evaluate rule sets later without
-// re-running the program. Profiles are ordered by descending potential
-// (ties by context string) so the artifact is byte-stable across runs of a
-// deterministic program.
-func WriteProfiles(w io.Writer, profiles []*Profile) error {
-	ordered := Rank(profiles)
-	wire := make([]profileWire, len(ordered))
-	for i, p := range ordered {
-		wire[i] = p.toWire()
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(wire)
-}
-
-// ReadProfiles deserializes a snapshot written by WriteProfiles. Contexts
-// are re-interned into a fresh table.
-func ReadProfiles(r io.Reader) ([]*Profile, error) {
-	var wire []profileWire
-	if err := json.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("profiler: decoding snapshot: %w", err)
-	}
-	contexts := alloctx.NewTable()
-	out := make([]*Profile, len(wire))
-	for i, w := range wire {
-		p, err := w.toProfile(contexts)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = p
-	}
-	return out, nil
-}
+// The serialization entry points (WriteProfiles / ReadProfiles /
+// WriteProfilesFile and the corruption-tolerant ReadProfilesReport) live
+// in persist.go; this file holds the wire shape and its validation.

@@ -1,0 +1,284 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/faults"
+	"chameleon/internal/spec"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// buildManyProfiles makes a snapshot with n distinct contexts so damage
+// tests have a prefix worth recovering.
+func buildManyProfiles(t *testing.T, n int) []*Profile {
+	t.Helper()
+	tab := alloctx.NewTable()
+	p := New()
+	for i := 0; i < n; i++ {
+		ctx := tab.Static(fmt.Sprintf("persist.Site%d:1;persist.Main:9", i))
+		in := p.OnAlloc(ctx, spec.KindArrayList, spec.KindArrayList, 0)
+		for j := 0; j <= i; j++ {
+			in.Record(spec.Add)
+			in.NoteSize(j + 1)
+		}
+		p.OnDeath(in)
+	}
+	profiles := p.Snapshot()
+	if len(profiles) != n {
+		t.Fatalf("built %d profiles, want %d", len(profiles), n)
+	}
+	return profiles
+}
+
+// TestTornWriteLoadsValidPrefix: a writer dying mid-write (simulated by
+// the TornWrite fault truncating the byte stream) leaves a file whose
+// valid prefix still loads; the damage is reported per record, including
+// the header-count truncation marker.
+func TestTornWriteLoadsValidPrefix(t *testing.T) {
+	profiles := buildManyProfiles(t, 6)
+	path := filepath.Join(t.TempDir(), "torn.json")
+	faults.ArmT(t, &faults.Plan{TornWrite: func(data []byte) ([]byte, bool) {
+		return data[:len(data)*2/3], true // die two-thirds through the write
+	}})
+	if err := WriteProfilesFile(path, profiles); err != nil {
+		t.Fatal(err)
+	}
+	faults.Disarm()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, recErrs, err := ReadProfilesReport(f)
+	if err != nil {
+		t.Fatalf("torn snapshot failed wholesale: %v", err)
+	}
+	if len(loaded) == 0 || len(loaded) >= len(profiles) {
+		t.Fatalf("loaded %d of %d from torn file, want a proper valid prefix", len(loaded), len(profiles))
+	}
+	if len(recErrs) == 0 {
+		t.Fatal("torn snapshot reported no damage")
+	}
+	foundTrunc := false
+	for _, re := range recErrs {
+		if re.Index == -1 && strings.Contains(re.Err.Error(), "truncated") {
+			foundTrunc = true
+		}
+	}
+	if !foundTrunc {
+		t.Fatalf("no truncation marker in damage report: %v", recErrs)
+	}
+}
+
+// TestCorruptRecordIsolated: flipping bytes in one record invalidates only
+// that record — the others load, and the damage report names the index.
+func TestCorruptRecordIsolated(t *testing.T) {
+	profiles := buildManyProfiles(t, 5)
+	var buf bytes.Buffer
+	faults.ArmT(t, &faults.Plan{CorruptRecord: func(i int, line []byte) ([]byte, bool) {
+		if i != 2 {
+			return line, false
+		}
+		bad := append([]byte(nil), line...)
+		bad[len(bad)/2] ^= 0x20 // silent bit flip inside the payload
+		return bad, true
+	}})
+	if err := WriteProfiles(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	faults.Disarm()
+
+	loaded, recErrs, err := ReadProfilesReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(profiles)-1 {
+		t.Fatalf("loaded %d, want %d (exactly the undamaged records)", len(loaded), len(profiles)-1)
+	}
+	if len(recErrs) != 1 || recErrs[0].Index != 2 {
+		t.Fatalf("damage report = %v, want exactly record 2", recErrs)
+	}
+	// ReadProfiles folds the damage into a loud error but keeps the prefix.
+	buf.Reset()
+	faults.Arm(&faults.Plan{CorruptRecord: func(i int, line []byte) ([]byte, bool) {
+		if i != 2 {
+			return line, false
+		}
+		bad := append([]byte(nil), line...)
+		bad[len(bad)/2] ^= 0x20
+		return bad, true
+	}})
+	if err := WriteProfiles(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	faults.Disarm()
+	got, err := ReadProfiles(&buf)
+	if err == nil || !strings.Contains(err.Error(), "snapshot damaged") {
+		t.Fatalf("ReadProfiles err = %v, want loud damage error", err)
+	}
+	if len(got) != len(profiles)-1 {
+		t.Fatalf("ReadProfiles kept %d records, want %d", len(got), len(profiles)-1)
+	}
+}
+
+// TestChecksumCatchesValueTampering: the CRC rejects a record whose JSON
+// still parses but whose numbers were altered — exactly the corruption
+// DisallowUnknownFields and schema validation cannot see.
+func TestChecksumCatchesValueTampering(t *testing.T) {
+	profiles := buildManyProfiles(t, 2)
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(buf.String(), `"allocs":1`, `"allocs":2`, 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper target not found in serialized snapshot")
+	}
+	_, recErrs, err := ReadProfilesReport(strings.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recErrs) != 1 || !strings.Contains(recErrs[0].Err.Error(), "checksum mismatch") {
+		t.Fatalf("damage report = %v, want one checksum mismatch", recErrs)
+	}
+}
+
+// TestWriteProfilesFileAtomic: a failed write must leave the previous
+// snapshot intact (temp + rename), and a successful one replaces it whole.
+func TestWriteProfilesFileAtomic(t *testing.T) {
+	profiles := buildManyProfiles(t, 3)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteProfilesFile(path, profiles[:1]); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second write lands atomically: the file is never the torn middle
+	// state because the data moves via rename. (The torn state is only
+	// reachable through the TornWrite fault, exercised above.)
+	if err := WriteProfilesFile(path, profiles); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatal("second write did not replace the snapshot")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := ReadProfiles(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(profiles) {
+		t.Fatalf("reloaded %d profiles, want %d", len(loaded), len(profiles))
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("destination dir has %d entries, want just the snapshot", len(entries))
+	}
+}
+
+// TestReadProfilesRejectsGarbageStreams: inputs that are not snapshots in
+// any known format fail loudly at the stream level.
+func TestReadProfilesRejectsGarbageStreams(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not json at all",
+		`{"format":"something-else","version":2,"count":0}`,
+		`{"format":"chameleon-profiles","version":99,"count":0}`,
+		`{"format":"chameleon-profiles","version":2,"count":-4}`,
+	} {
+		if _, _, err := ReadProfilesReport(strings.NewReader(in)); err == nil {
+			t.Fatalf("garbage stream %q accepted", in)
+		}
+	}
+}
+
+// TestReadProfilesValidatesValues: records carrying values no profiler run
+// could produce — negative counts, NaN statistics, more live than
+// allocated — are rejected by validation even with a correct checksum.
+func TestReadProfilesValidatesValues(t *testing.T) {
+	writeOne := func(mutate func(*profileWire)) string {
+		profiles := buildManyProfiles(t, 1)
+		w := profiles[0].toWire()
+		mutate(&w)
+		return wireSnapshot(t, w)
+	}
+	cases := map[string]func(*profileWire){
+		"negative allocs": func(w *profileWire) { w.Allocs = -1 },
+		"overflow count":  func(w *profileWire) { w.GCCycles = int64(1) << 60 },
+		"live > allocs":   func(w *profileWire) { w.Live = w.Allocs + 1 },
+		"absurd size":     func(w *profileWire) { w.MaxSizeAvg = 1e18 },
+		"empty context":   func(w *profileWire) { w.Context = "" },
+	}
+	for name, mutate := range cases {
+		_, recErrs, err := ReadProfilesReport(strings.NewReader(writeOne(mutate)))
+		if err != nil {
+			t.Fatalf("%s: stream-level error %v, want per-record", name, err)
+		}
+		if len(recErrs) != 1 {
+			t.Fatalf("%s: damage report = %v, want one rejected record", name, recErrs)
+		}
+	}
+}
+
+// wireSnapshot serializes one already-mutated wire record as a valid v2
+// snapshot (correct CRC), so only schema validation can reject it.
+func wireSnapshot(t *testing.T, w profileWire) string {
+	t.Helper()
+	var buf bytes.Buffer
+	pj := mustJSON(t, w)
+	fmt.Fprintf(&buf, `{"format":%q,"version":%d,"count":1}`+"\n", snapshotFormat, snapshotVersion)
+	fmt.Fprintf(&buf, `{"crc":"%08x","profile":%s}`+"\n", crcOf(pj), pj)
+	return buf.String()
+}
+
+// TestLegacyArrayStillReads: a v1 snapshot (plain JSON array) loads, and
+// per-record validation still applies to it.
+func TestLegacyArrayStillReads(t *testing.T) {
+	profiles := buildManyProfiles(t, 2)
+	var records []string
+	for _, p := range profiles {
+		records = append(records, string(mustJSON(t, p.toWire())))
+	}
+	legacy := "[\n" + strings.Join(records, ",\n") + "\n]"
+	loaded, recErrs, err := ReadProfilesReport(strings.NewReader(legacy))
+	if err != nil || len(recErrs) != 0 {
+		t.Fatalf("legacy array load: err=%v damage=%v", err, recErrs)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("legacy array loaded %d records, want 2", len(loaded))
+	}
+}

@@ -142,6 +142,9 @@ func ByName(name string) (Spec, error) {
 	if name == PhaseShiftSpec.Name {
 		return PhaseShiftSpec, nil
 	}
+	if name == ContextStormSpec.Name {
+		return ContextStormSpec, nil
+	}
 	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
