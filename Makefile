@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-trajectory
+.PHONY: build test race bench-trajectory analyze
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,13 @@ TRAJECTORY ?= BENCH_pr5.json
 
 bench-trajectory:
 	$(GO) run ./cmd/bench-trajectory -benchtime $(BENCHTIME) -count $(COUNT) -out $(TRAJECTORY)
+
+# Dogfood the site analyzer over the repository itself (docs/ANALYSIS.md):
+# every package except the deliberately-unsafe fixture tree must come back
+# clean of error-severity findings, and the run writes the site manifest.
+# CI runs this and uploads the manifest as an artifact.
+MANIFEST ?= site-manifest.json
+
+analyze:
+	$(GO) run ./cmd/chameleon-sites -manifest $(MANIFEST) \
+		$$($(GO) list ./... | grep -v examples/sitecheck/unsafe)

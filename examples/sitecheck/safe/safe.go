@@ -1,0 +1,83 @@
+// Package safe is the positive half of the chameleon-sites fixture
+// tree: every allocation here is provably confined to its function, so
+// the analyzer must classify each site Safe with zero findings (the
+// label lints S007/S008 included). The golden tests assert the absence
+// of diagnostics on these sites as strictly as they assert the presence
+// of the planted ones in ../unsafe.
+package safe
+
+import "chameleon/internal/collections"
+
+// CountTags allocates with a constant static label and capacity: the
+// canonical fully-joinable site. The analyzer must derive the same
+// context key alloctx.Static interns for "sitecheck.tags".
+func CountTags(rt *collections.Runtime, tags []string) int {
+	m := collections.NewHashMap[string, int](rt, collections.At("sitecheck.tags"), collections.Cap(8))
+	for _, t := range tags {
+		c, _ := m.Get(t)
+		m.Put(t, c+1)
+	}
+	n := m.Size()
+	m.Free()
+	return n
+}
+
+// histCtx is the one-level helper indirection the workloads use for
+// labels; the analyzer inlines it and still resolves the constant.
+func histCtx() collections.Option { return collections.At("sitecheck.hist") }
+
+// Histogram allocates through the helper: same joinability as CountTags.
+func Histogram(rt *collections.Runtime, values []int) int {
+	h := collections.NewArrayList[int](rt, histCtx())
+	for _, v := range values {
+		h.Add(v)
+	}
+	n := h.Size()
+	h.Free()
+	return n
+}
+
+// Variants allocates under one label in two exclusive branches — the
+// baseline/tuned idiom the workloads use everywhere. At most one arm
+// executes per pass, so the shared label merges nothing and must NOT be
+// flagged S006.
+func Variants(rt *collections.Runtime, tuned bool) int {
+	var l *collections.List[int]
+	if tuned {
+		l = collections.NewArrayList[int](rt, collections.At("sitecheck.variants"), collections.Cap(4))
+	} else {
+		l = collections.NewArrayList[int](rt, collections.At("sitecheck.variants"))
+	}
+	l.Add(1)
+	n := l.Size()
+	l.Free()
+	return n
+}
+
+// ReusedSite binds the option to a single-assignment local before use —
+// the onlinemode idiom for labeling many allocations from one loop. The
+// analyzer must propagate the constant through the variable.
+func ReusedSite(rt *collections.Runtime, rounds int) int {
+	site := collections.At("sitecheck.reused")
+	total := 0
+	for i := 0; i < rounds; i++ {
+		m := collections.NewHashMap[int, int](rt, site)
+		m.Put(i, i)
+		total += m.Size()
+		m.Free()
+	}
+	return total
+}
+
+// DynamicSite carries no At label: the analyzer derives the frame label
+// dynamic capture would symbolize ("safe.DynamicSite:<line>"). Keep the
+// allocation on one line so the golden test can assert the exact label.
+func DynamicSite(rt *collections.Runtime, words []string) int {
+	seen := collections.NewHashSet[string](rt)
+	for _, w := range words {
+		seen.Add(w)
+	}
+	n := seen.Size()
+	seen.Free()
+	return n
+}

@@ -1,0 +1,107 @@
+// Package unsafe is the negative half of the chameleon-sites fixture
+// tree: one function per refutation code, each site planted so exactly
+// one diagnostic fires on the marked line. The golden tests parse the
+// "want" comments below and fail on any mismatch in either direction.
+// This package is excluded from the dogfooding gate (`make analyze`)
+// precisely because its diagnostics are intentional.
+package unsafe
+
+import (
+	"sync"
+
+	"chameleon/internal/collections"
+)
+
+// Escapes returns the wrapper: the site cannot be specialized in
+// isolation because callers see the representation's identity.
+func Escapes(rt *collections.Runtime) *collections.List[string] {
+	l := collections.NewLinkedList[string](rt) // want S001
+	l.Add("x")
+	return l
+}
+
+// Stored puts the wrapper into an interface variable: the wrapper type
+// becomes observable through dynamic dispatch.
+func Stored(rt *collections.Runtime) int {
+	var sink any = collections.NewHashSet[int](rt) // want S002
+	if s, ok := sink.(interface{ Size() int }); ok {
+		return s.Size()
+	}
+	return 0
+}
+
+// Asserted reaches back through the abstraction with a type assertion
+// on a concrete wrapper type.
+func Asserted(v any) int {
+	if l, ok := v.(*collections.List[int]); ok { // want S003
+		return l.Size()
+	}
+	return 0
+}
+
+// AssertedSwitch does the same through a type-switch case.
+func AssertedSwitch(v any) string {
+	switch v.(type) {
+	case *collections.Set[string]: // want S003
+		return "set"
+	}
+	return ""
+}
+
+// Crosses hands the collection to a goroutine: single-owner profiling
+// evidence does not transfer across the boundary.
+func Crosses(rt *collections.Runtime, wg *sync.WaitGroup) {
+	q := collections.NewArrayList[int](rt) // want S004
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q.Add(1)
+		q.Free()
+	}()
+}
+
+// Compared observes wrapper identity: == is a property of the wrapper
+// object, not the abstract collection.
+func Compared(rt *collections.Runtime) bool {
+	a := collections.NewArraySet[string](rt) // want S005
+	b := collections.NewArraySet[string](rt) // want S005
+	same := a == b
+	a.Free()
+	b.Free()
+	return same
+}
+
+// DupA and DupB share one static label: their profiles merge and a
+// per-site decision is ambiguous. Each site is otherwise safe.
+
+// DupA is the first of the duplicate-label pair.
+func DupA(rt *collections.Runtime) {
+	m := collections.NewHashMap[string, int](rt, collections.At("sitecheck.dup")) // want S006
+	m.Put("a", 1)
+	m.Free()
+}
+
+// DupB is the second of the duplicate-label pair.
+func DupB(rt *collections.Runtime) {
+	m := collections.NewHashMap[string, int](rt, collections.At("sitecheck.dup")) // want S006
+	m.Put("b", 2)
+	m.Free()
+}
+
+// Opaque builds its label at run time: the site cannot be joined to
+// profiles statically.
+func Opaque(rt *collections.Runtime, name string) {
+	m := collections.NewHashMap[string, int](rt, collections.At("sitecheck."+name)) // want S007
+	m.Put(name, 1)
+	m.Free()
+}
+
+// OpaqueCap sizes the collection at run time: the manifest records the
+// capacity as unknown.
+func OpaqueCap(rt *collections.Runtime, n int) {
+	l := collections.NewArrayList[int](rt, collections.Cap(n)) // want S008
+	for i := 0; i < n; i++ {
+		l.Add(i)
+	}
+	l.Free()
+}

@@ -89,9 +89,12 @@ func (c *Context) String() string {
 	}
 	parts := make([]string, len(c.frames))
 	for i, f := range c.frames {
-		parts[i] = fmt.Sprintf("%s:%d", f.Function, f.Line)
+		// Frame functions are already trimmed at capture; SiteLabel's trim
+		// is idempotent, so this is the same rendering the static analyzer
+		// derives from source (label.go).
+		parts[i] = SiteLabel(f.Function, f.Line)
 	}
-	return strings.Join(parts, ";")
+	return JoinFrames(parts...)
 }
 
 const (
@@ -256,7 +259,7 @@ func (t *Table) Overflow() *Context {
 	if c := t.overflow.Load(); c != nil {
 		return c
 	}
-	c := t.intern(hashString("static:"+OverflowLabel), true,
+	c := t.intern(StaticKey(OverflowLabel), true,
 		func(c *Context) bool { return c.label == OverflowLabel },
 		func(key uint64) *Context { return &Context{key: key, label: OverflowLabel} })
 	t.overflow.CompareAndSwap(nil, c)
@@ -264,7 +267,7 @@ func (t *Table) Overflow() *Context {
 }
 
 func (t *Table) staticSlow(label string) *Context {
-	ctx := t.intern(hashString("static:"+label), false,
+	ctx := t.intern(StaticKey(label), false,
 		func(c *Context) bool { return c.label == label },
 		func(key uint64) *Context { return &Context{key: key, label: label} })
 	if ctx.label != label {

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/profiler"
+	"chameleon/internal/rules"
+	"chameleon/internal/spec"
+)
+
+func mustRules(t *testing.T, src string) *rules.RuleSet {
+	t.Helper()
+	rs, err := rules.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func siteFor(kind spec.Kind, label string) Site {
+	s := Site{
+		ID:       "f.go:1:1",
+		File:     "f.go",
+		Line:     1,
+		Col:      1,
+		Declared: kind.String(),
+		ADT:      kind.Abstract().String(),
+	}
+	if label != "" {
+		s.Label = label
+		s.LabelKind = LabelStatic
+		s.ContextKey = alloctx.StaticKey(label)
+	}
+	return s
+}
+
+func TestCrossCheckDeadRule(t *testing.T) {
+	rs := mustRules(t, `ArrayList : #contains > 4 -> HashSet
+LinkedList : #get > 4 -> ArrayList`)
+	sites := []Site{siteFor(spec.KindArrayList, "")}
+	diags := CrossCheckRules(sites, rs, "rules.chameleon")
+	var dead []Diagnostic
+	for _, d := range diags {
+		if d.Code == CodeDeadRule {
+			dead = append(dead, d)
+		}
+	}
+	if len(dead) != 1 {
+		t.Fatalf("S009 count = %d, want 1 (diags: %v)", len(dead), diags)
+	}
+	if dead[0].Pos.File != "rules.chameleon" || dead[0].Pos.Line != 2 {
+		t.Errorf("S009 position = %s, want rules.chameleon:2", dead[0].Pos)
+	}
+	if !strings.Contains(dead[0].Message, "LinkedList") {
+		t.Errorf("S009 message does not name the rule: %q", dead[0].Message)
+	}
+}
+
+func TestCrossCheckUncoveredSite(t *testing.T) {
+	rs := mustRules(t, `ArrayList : #contains > 4 -> HashSet`)
+	sites := []Site{
+		siteFor(spec.KindArrayList, ""),
+		siteFor(spec.KindHashMap, ""),
+	}
+	var uncovered []Diagnostic
+	for _, d := range CrossCheckRules(sites, rs, "<builtin>") {
+		if d.Code == CodeUncoveredSite {
+			uncovered = append(uncovered, d)
+		}
+	}
+	if len(uncovered) != 1 {
+		t.Fatalf("S010 count = %d, want 1", len(uncovered))
+	}
+	if !strings.Contains(uncovered[0].Message, "HashMap") {
+		t.Errorf("S010 message does not name the kind: %q", uncovered[0].Message)
+	}
+}
+
+func TestCrossCheckForcedKind(t *testing.T) {
+	// A site whose Impl override forces LinkedList keeps a LinkedList
+	// rule live even though the declared kind is ArrayList.
+	rs := mustRules(t, `LinkedList : #get > 4 -> ArrayList`)
+	s := siteFor(spec.KindArrayList, "")
+	s.Forced = spec.KindLinkedList.String()
+	for _, d := range CrossCheckRules([]Site{s}, rs, "<builtin>") {
+		if d.Code == CodeDeadRule {
+			t.Errorf("rule on the forced kind reported dead: %s", d)
+		}
+	}
+}
+
+func TestCrossCheckStaleContext(t *testing.T) {
+	table := alloctx.NewTable()
+	live := table.Static("app.live")
+	gone := table.Static("app.deleted")
+	sites := []Site{siteFor(spec.KindArrayList, "app.live")}
+	profiles := []*profiler.Profile{
+		{Context: live},
+		{Context: gone},
+		{Context: table.Overflow()}, // aggregate context is never stale
+		{Context: nil},
+	}
+	diags := CrossCheckSnapshot(sites, profiles, "profiles.snap")
+	if len(diags) != 1 {
+		t.Fatalf("S011 count = %d, want 1 (diags: %v)", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Code != CodeStaleContext || !strings.Contains(d.Message, "app.deleted") {
+		t.Errorf("stale diagnostic = %s", d)
+	}
+	if d.Pos.File != "profiles.snap" {
+		t.Errorf("stale position = %s, want profiles.snap", d.Pos)
+	}
+}
+
+func TestCrossCheckInheritedSiteKeepsFamilyLive(t *testing.T) {
+	// An inherited (NewListFrom) site declares only the abstract List;
+	// concrete list rules must stay live, non-list rules must not.
+	rs := mustRules(t, `SingletonList : maxSize < 2 -> EmptyList
+HashSet : #contains > 4 -> OpenHashSet`)
+	s := siteFor(spec.KindList, "")
+	s.Inherited = true
+	var dead []Diagnostic
+	for _, d := range CrossCheckRules([]Site{s}, rs, "<builtin>") {
+		if d.Code == CodeDeadRule {
+			dead = append(dead, d)
+		}
+	}
+	if len(dead) != 1 || !strings.Contains(dead[0].Message, "HashSet") {
+		t.Fatalf("dead = %v, want just the HashSet rule", dead)
+	}
+}

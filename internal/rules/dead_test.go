@@ -1,0 +1,67 @@
+package rules
+
+import (
+	"testing"
+
+	"chameleon/internal/spec"
+)
+
+func TestDeadForDeclared(t *testing.T) {
+	rs, err := Parse(`ArrayList : #contains > 0 -> HashSet
+HashMap : #get < 1 -> LazyMap
+LinkedList : #get > 0 -> ArrayList`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := DeadForDeclared(rs, []spec.Kind{spec.KindArrayList, spec.KindHashMap})
+	if len(dead) != 1 {
+		t.Fatalf("dead rules = %d, want 1", len(dead))
+	}
+	if dead[0].Src != spec.KindLinkedList {
+		t.Errorf("dead rule src = %v, want LinkedList", dead[0].Src)
+	}
+}
+
+func TestDeadForDeclaredAbstractSrc(t *testing.T) {
+	rs, err := Parse(`List : maxSize < 8 -> ArrayList
+Set : maxSize < 8 -> ArraySet`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A concrete list keeps the List rule live but not the Set rule.
+	dead := DeadForDeclared(rs, []spec.Kind{spec.KindLinkedList})
+	if len(dead) != 1 || dead[0].Src != spec.KindSet {
+		t.Fatalf("dead = %v, want just the Set rule", dead)
+	}
+}
+
+func TestDeadForDeclaredAbstractDeclared(t *testing.T) {
+	rs, err := Parse(`ArrayList : maxSize < 8 -> SingletonList
+HashSet : maxSize < 8 -> ArraySet`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An abstract List (inherited backing) keeps concrete list rules
+	// live: any implementation may flow through the site.
+	dead := DeadForDeclared(rs, []spec.Kind{spec.KindList})
+	if len(dead) != 1 || dead[0].Src != spec.KindHashSet {
+		t.Fatalf("dead = %v, want just the HashSet rule", dead)
+	}
+}
+
+func TestDeadForDeclaredEmpty(t *testing.T) {
+	rs, err := Parse(`Collection : maxSize < 4 -> ArrayList`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead := DeadForDeclared(rs, nil); len(dead) != 1 {
+		t.Fatalf("no declared kinds: dead = %d rules, want all 1", len(dead))
+	}
+	if dead := DeadForDeclared(nil, []spec.Kind{spec.KindArrayList}); dead != nil {
+		t.Fatalf("nil rule set: dead = %v, want nil", dead)
+	}
+	// KindCollection matches every collection kind both ways.
+	if dead := DeadForDeclared(rs, []spec.Kind{spec.KindSingletonMap}); len(dead) != 0 {
+		t.Fatalf("Collection rule reported dead against a map program: %v", dead)
+	}
+}

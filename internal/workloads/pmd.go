@@ -24,6 +24,13 @@ func pmdRuleSetCtx() collections.Option {
 	return collections.At("net.sourceforge.pmd.RuleSetFactory:41;net.sourceforge.pmd.PMD:102")
 }
 
+// pmdRuleListCtx labels the rule lists separately from the rule sets:
+// the two sites allocate different ADTs on every iteration, so sharing
+// one label would merge their profiles (chameleon-sites S006).
+func pmdRuleListCtx() collections.Option {
+	return collections.At("net.sourceforge.pmd.RuleSetFactory:58;net.sourceforge.pmd.PMD:102")
+}
+
 // pmdOversizedCap is the mistaken initial capacity of the per-node lists.
 const pmdOversizedCap = 32
 
@@ -44,7 +51,7 @@ func RunPMD(rt *collections.Runtime, v Variant, scale int) uint64 {
 			s.Add(r*1000 + i)
 		}
 		ruleSets = append(ruleSets, s)
-		l := collections.NewArrayList[int](rt, pmdRuleSetCtx(), collections.Cap(400))
+		l := collections.NewArrayList[int](rt, pmdRuleListCtx(), collections.Cap(400))
 		for i := 0; i < 400; i++ {
 			l.Add(i)
 		}

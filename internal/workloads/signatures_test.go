@@ -127,7 +127,7 @@ func TestPMDSignature(t *testing.T) {
 		t.Fatalf("empty fraction = %.2f", frac)
 	}
 	// Large stable long-lived rule sets.
-	rs := profileByContext(t, ps, "RuleSetFactory")
+	rs := profileByContext(t, ps, "RuleSetFactory:41")
 	if rs.MaxSizeAvg < 300 {
 		t.Fatalf("rule sets avg size = %v, want large", rs.MaxSizeAvg)
 	}
