@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-trajectory analyze
+.PHONY: build test race bench-trajectory analyze apply
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ race:
 # smoke run (what CI does); the default takes a few minutes.
 BENCHTIME ?= 0.3s
 COUNT ?= 3
-TRAJECTORY ?= BENCH_pr5.json
+TRAJECTORY ?= BENCH_pr7.json
 
 bench-trajectory:
 	$(GO) run ./cmd/bench-trajectory -benchtime $(BENCHTIME) -count $(COUNT) -out $(TRAJECTORY)
@@ -30,3 +30,14 @@ MANIFEST ?= site-manifest.json
 analyze:
 	$(GO) run ./cmd/chameleon-sites -manifest $(MANIFEST) \
 		$$($(GO) list ./... | grep -v examples/sitecheck/unsafe)
+
+# Dogfood the ahead-of-time rewriter (docs/SPECIALIZE.md): profile the
+# pmd workload, print the rewrite chameleon-apply derives for the repo's
+# own workload tree, then verify the rewritten tree reproduces the
+# reference checksum. Nothing is written without -write.
+PROFILE ?= pmd-profile.json
+
+apply:
+	$(GO) run ./cmd/chameleon -workload pmd -scale 50 -profile-out $(PROFILE) > /dev/null
+	$(GO) run ./cmd/chameleon-apply -profile $(PROFILE) -diff ./internal/workloads
+	$(GO) run ./cmd/chameleon-apply -profile $(PROFILE) -verify pmd -scale 5 ./internal/workloads

@@ -182,6 +182,14 @@ func BenchmarkAutoOverhead(b *testing.B) {
 				runWorkload(b, name, workloads.Baseline, unguardedCfg, benchScale)
 			}
 		})
+		// The ahead-of-time endpoint: decided sites committed to fixed
+		// constructors, run on the plain runtime — what remains after
+		// chameleon-apply retires the profiling machinery.
+		b.Run(name+"/specialized", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, name, workloads.Specialized, plainCfg(), benchScale)
+			}
+		})
 	}
 }
 
@@ -433,6 +441,24 @@ func BenchmarkListAppend(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			l := collections.NewArrayList[int](rt, collections.At("bench:listappend"))
+			for k := 0; k < 64; k++ {
+				l.Add(k)
+			}
+			l.Free()
+		}
+	})
+	// Specialized variant: the same loop through a chameleon-apply fixed
+	// constructor on the SAME fully-instrumented runtime. The site is
+	// final, so allocation skips decide/install and every operation takes
+	// the nil-instrument fast path — the per-site payoff of ahead-of-time
+	// specialization must land within noise of the plain ArrayList row.
+	b.Run("specialized", func(b *testing.B) {
+		prof := profiler.New()
+		h := heap.New(heap.Config{GCThreshold: 1 << 30, Observer: prof})
+		rt := collections.NewRuntime(collections.Config{Mode: alloctx.Static, Profiler: prof, Heap: h})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := collections.NewFixedArrayList[int](rt)
 			for k := 0; k < 64; k++ {
 				l.Add(k)
 			}

@@ -121,6 +121,110 @@ func NewHashMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K,
 	return collections.NewHashMap[K, V](rt, opts...)
 }
 
+// Fixed constructors: the ahead-of-time specialization surface
+// chameleon-apply rewrites decided sites onto (docs/SPECIALIZE.md). Same
+// wrapper types, final backing implementation, no profiling machinery.
+// The full set is re-exported so rewrites of root-package allocation
+// sites always have their target in scope.
+func NewFixedArrayList[T comparable](rt *Runtime, opts ...Option) *List[T] {
+	return collections.NewFixedArrayList[T](rt, opts...)
+}
+
+// NewFixedLinkedList allocates an unprofiled LinkedList-backed list.
+func NewFixedLinkedList[T comparable](rt *Runtime, opts ...Option) *List[T] {
+	return collections.NewFixedLinkedList[T](rt, opts...)
+}
+
+// NewFixedSinglyLinkedList allocates an unprofiled singly-linked list.
+func NewFixedSinglyLinkedList[T comparable](rt *Runtime, opts ...Option) *List[T] {
+	return collections.NewFixedSinglyLinkedList[T](rt, opts...)
+}
+
+// NewFixedEmptyList allocates an unprofiled immutable empty list.
+func NewFixedEmptyList[T comparable](rt *Runtime, opts ...Option) *List[T] {
+	return collections.NewFixedEmptyList[T](rt, opts...)
+}
+
+// NewFixedLazyArrayList allocates an unprofiled LazyArrayList-backed list.
+func NewFixedLazyArrayList[T comparable](rt *Runtime, opts ...Option) *List[T] {
+	return collections.NewFixedLazyArrayList[T](rt, opts...)
+}
+
+// NewFixedSingletonList allocates an unprofiled SingletonList-backed list.
+func NewFixedSingletonList[T comparable](rt *Runtime, opts ...Option) *List[T] {
+	return collections.NewFixedSingletonList[T](rt, opts...)
+}
+
+// NewFixedIntArrayList allocates an unprofiled unboxed-int-array list.
+func NewFixedIntArrayList(rt *Runtime, opts ...Option) *List[int] {
+	return collections.NewFixedIntArrayList(rt, opts...)
+}
+
+// NewFixedHashSet allocates an unprofiled HashSet-backed set.
+func NewFixedHashSet[T comparable](rt *Runtime, opts ...Option) *Set[T] {
+	return collections.NewFixedHashSet[T](rt, opts...)
+}
+
+// NewFixedArraySet allocates an unprofiled ArraySet-backed set.
+func NewFixedArraySet[T comparable](rt *Runtime, opts ...Option) *Set[T] {
+	return collections.NewFixedArraySet[T](rt, opts...)
+}
+
+// NewFixedOpenHashSet allocates an unprofiled open-addressing set.
+func NewFixedOpenHashSet[T comparable](rt *Runtime, opts ...Option) *Set[T] {
+	return collections.NewFixedOpenHashSet[T](rt, opts...)
+}
+
+// NewFixedLazySet allocates an unprofiled LazySet-backed set.
+func NewFixedLazySet[T comparable](rt *Runtime, opts ...Option) *Set[T] {
+	return collections.NewFixedLazySet[T](rt, opts...)
+}
+
+// NewFixedLinkedHashSet allocates an unprofiled LinkedHashSet-backed set.
+func NewFixedLinkedHashSet[T comparable](rt *Runtime, opts ...Option) *Set[T] {
+	return collections.NewFixedLinkedHashSet[T](rt, opts...)
+}
+
+// NewFixedSizeAdaptingSet allocates an unprofiled size-adapting set.
+func NewFixedSizeAdaptingSet[T comparable](rt *Runtime, opts ...Option) *Set[T] {
+	return collections.NewFixedSizeAdaptingSet[T](rt, opts...)
+}
+
+// NewFixedHashMap allocates an unprofiled HashMap-backed map.
+func NewFixedHashMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedHashMap[K, V](rt, opts...)
+}
+
+// NewFixedArrayMap allocates an unprofiled ArrayMap-backed map.
+func NewFixedArrayMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedArrayMap[K, V](rt, opts...)
+}
+
+// NewFixedOpenHashMap allocates an unprofiled open-addressing map.
+func NewFixedOpenHashMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedOpenHashMap[K, V](rt, opts...)
+}
+
+// NewFixedLazyMap allocates an unprofiled LazyMap-backed map.
+func NewFixedLazyMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedLazyMap[K, V](rt, opts...)
+}
+
+// NewFixedSingletonMap allocates an unprofiled SingletonMap-backed map.
+func NewFixedSingletonMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedSingletonMap[K, V](rt, opts...)
+}
+
+// NewFixedLinkedHashMap allocates an unprofiled LinkedHashMap-backed map.
+func NewFixedLinkedHashMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedLinkedHashMap[K, V](rt, opts...)
+}
+
+// NewFixedSizeAdaptingMap allocates an unprofiled size-adapting map.
+func NewFixedSizeAdaptingMap[K comparable, V comparable](rt *Runtime, opts ...Option) *Map[K, V] {
+	return collections.NewFixedSizeAdaptingMap[K, V](rt, opts...)
+}
+
 // Kind identifies collection kinds (spec.Kind*).
 type Kind = spec.Kind
 

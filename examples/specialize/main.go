@@ -1,0 +1,165 @@
+// Specialize: the ahead-of-time end of the Chameleon pipeline, in one
+// small program (docs/SPECIALIZE.md).
+//
+// The program exercises five allocation sites chosen so that each lands
+// in a different chameleon-apply classification:
+//
+//	tags     — HashMap, always exactly 6 entries      -> replace with
+//	           NewFixedArrayMap, decided capacity appended
+//	scratch  — ArrayList, ~90% of instances stay empty -> replace with
+//	           NewFixedLazyArrayList (pure rename, no capacity)
+//	buffer   — ArrayList, Cap(4) but always grows to 32 -> retune: the
+//	           Cap argument is rewritten in place
+//	registry — HashSet that escapes into a slice       -> skip:unsafe,
+//	           decided but refused (the rewrite cannot prove the site)
+//	mixed    — HashMap whose sizes swing wildly        -> skip:undecided,
+//	           the Definition 3.1 stability gate leaves it alone
+//
+// Run it to profile itself and write the snapshot chameleon-apply reads:
+//
+//	go run ./examples/specialize -profile-out examples/specialize/testdata/profile.json
+//	go run ./cmd/chameleon-apply -profile examples/specialize/testdata/profile.json -diff ./examples/specialize
+//
+// The committed testdata/profile.json and testdata/golden.diff are exactly
+// those two commands' outputs; main_test.go keeps them fresh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/collections"
+	"chameleon/internal/heap"
+	"chameleon/internal/profiler"
+)
+
+// The site labels follow the "frame;frame" shape of real captured
+// contexts; constant labels are what lets chameleon-apply join profiles
+// back to syntax.
+
+func tagsCtx() collections.Option {
+	return collections.At("spec.Document.tags:14;spec.Main.run:40")
+}
+
+func scratchCtx() collections.Option {
+	return collections.At("spec.Visitor.visit:31;spec.Main.run:44")
+}
+
+func bufferCtx() collections.Option {
+	return collections.At("spec.Encoder.buffer:52;spec.Main.run:47")
+}
+
+func registryCtx() collections.Option {
+	return collections.At("spec.Registry.init:22;spec.Main.run:8")
+}
+
+func mixedCtx() collections.Option {
+	return collections.At("spec.Cache.bucket:67;spec.Main.run:55")
+}
+
+// run drives the five sites deterministically and returns a checksum, so
+// the committed profile snapshot is reproducible byte for byte.
+func run(rt *collections.Runtime) uint64 {
+	var checksum uint64
+	mix := func(v uint64) { checksum ^= v; checksum *= 1099511628211 }
+
+	// registry: long-lived sets collected into a slice. The append makes
+	// the wrapper escape the allocating function's locals, so the site is
+	// refuted (S-code) and must never be rewritten — even though its
+	// profile earns a setCapacity decision (Cap(64) grown to 400).
+	var registries []*collections.Set[int]
+	for r := 0; r < 2; r++ {
+		s := collections.NewHashSet[int](rt, registryCtx(), collections.Cap(64))
+		for i := 0; i < 400; i++ {
+			s.Add(r*1000 + i)
+		}
+		registries = append(registries, s)
+	}
+
+	for round := 0; round < 64; round++ {
+		// tags: small and perfectly stable — every instance holds exactly
+		// 6 entries and is get-dominated. Table 2: ArrayMap(maxSize).
+		tags := collections.NewHashMap[int, int](rt, tagsCtx())
+		for k := 0; k < 6; k++ {
+			tags.Put(k, round+k)
+		}
+		for k := 0; k < 24; k++ {
+			if v, ok := tags.Get(k % 6); ok {
+				mix(uint64(v))
+			}
+		}
+		tags.Free()
+
+		// scratch: the bloat/PMD pathology — 7 of 8 instances stay empty.
+		scratch := collections.NewArrayList[int](rt, scratchCtx())
+		if round%8 == 0 {
+			scratch.Add(round)
+			scratch.Add(round + 1)
+		}
+		scratch.Each(func(x int) bool {
+			mix(uint64(x))
+			return true
+		})
+		scratch.Free()
+
+		// buffer: sized by guesswork at 4, grows to 32 every time —
+		// incremental resizing the setCapacity rule exists for.
+		buffer := collections.NewArrayList[int](rt, bufferCtx(), collections.Cap(4))
+		for k := 0; k < 32; k++ {
+			buffer.Add(round * k)
+		}
+		mix(uint64(buffer.Size()))
+		buffer.Free()
+
+		// mixed: sizes alternate between tiny and large, so maxSize is
+		// unstable (stddev far above the Definition 3.1 bound) and no
+		// size-reading rule may fire.
+		mixed := collections.NewHashMap[int, int](rt, mixedCtx())
+		n := 2
+		if round%2 == 1 {
+			n = 28
+		}
+		for k := 0; k < n; k++ {
+			mixed.Put(k, k)
+		}
+		mix(uint64(mixed.Size()))
+		mixed.Free()
+	}
+
+	for _, s := range registries {
+		s.Each(func(x int) bool {
+			mix(uint64(x))
+			return true
+		})
+		s.Free()
+	}
+	return checksum
+}
+
+func main() {
+	profileOut := flag.String("profile-out", "", "write the profile snapshot as JSON for chameleon-apply")
+	flag.Parse()
+
+	prof := profiler.New()
+	h := heap.New(heap.Config{GCThreshold: 1 << 30, Observer: prof, KeepSnapshots: true, KeepContexts: true})
+	rt := collections.NewRuntime(collections.Config{
+		Heap:     h,
+		Profiler: prof,
+		Contexts: alloctx.NewTable(),
+		Mode:     alloctx.Static,
+	})
+
+	checksum := run(rt)
+	fmt.Printf("run complete: checksum=%#x\n", checksum)
+
+	if *profileOut != "" {
+		snapshot := prof.Snapshot()
+		if err := profiler.WriteProfilesFile(*profileOut, snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "specialize: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile snapshot: %s (%d contexts)\n", *profileOut, len(snapshot))
+	}
+}

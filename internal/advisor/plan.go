@@ -27,6 +27,58 @@ type planEntry struct {
 	decision collections.Decision
 	context  string
 	fix      string
+	action   rules.ActionKind
+}
+
+// PlanEntry is one compiled decision, exported for consumers that apply
+// plans outside the allocation path — chameleon-apply rewrites source
+// against these. Action distinguishes a full replacement (the site can be
+// specialized onto a fixed constructor) from capacity-only tuning (the
+// declared constructor stays, and with it the profiling).
+type PlanEntry struct {
+	// ContextKey is the interned allocation-context key the decision is for.
+	ContextKey uint64
+	// Context is the context's label.
+	Context string
+	// Decision is the implementation/capacity choice.
+	Decision collections.Decision
+	// Action is the rule action the decision came from (ActReplace or
+	// ActSetCapacity; the advisory kinds never enter a plan).
+	Action rules.ActionKind
+	// Fix is the human-readable fix phrase (Describe of the match).
+	Fix string
+}
+
+// Entries reports every compiled decision, sorted by context label for
+// determinism.
+func (p *Plan) Entries() []PlanEntry {
+	out := make([]PlanEntry, 0, len(p.decisions))
+	for key, e := range p.decisions {
+		out = append(out, PlanEntry{
+			ContextKey: key,
+			Context:    e.context,
+			Decision:   e.decision,
+			Action:     e.action,
+			Fix:        e.fix,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Context < out[j].Context })
+	return out
+}
+
+// Entry reports the compiled decision for one context key.
+func (p *Plan) Entry(ctxKey uint64) (PlanEntry, bool) {
+	e, ok := p.decisions[ctxKey]
+	if !ok {
+		return PlanEntry{}, false
+	}
+	return PlanEntry{
+		ContextKey: ctxKey,
+		Context:    e.context,
+		Decision:   e.decision,
+		Action:     e.action,
+		Fix:        e.fix,
+	}, true
 }
 
 // NewPlan extracts the actionable decisions from a report: same-ADT
@@ -52,6 +104,7 @@ func NewPlan(rep *Report) *Plan {
 					decision: collections.Decision{Impl: impl, Capacity: int(m.Capacity)},
 					context:  s.Profile.Context.String(),
 					fix:      Describe(m),
+					action:   rules.ActReplace,
 				}
 			case rules.ActSetCapacity:
 				if m.Capacity <= 0 {
@@ -61,6 +114,7 @@ func NewPlan(rep *Report) *Plan {
 					decision: collections.Decision{Impl: declared, Capacity: int(m.Capacity)},
 					context:  s.Profile.Context.String(),
 					fix:      Describe(m),
+					action:   rules.ActSetCapacity,
 				}
 			default:
 				continue

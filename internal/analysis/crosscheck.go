@@ -45,7 +45,7 @@ func CrossCheckRules(sites []Site, rs *rules.RuleSet, ruleFile string) []Diagnos
 
 	for i := range sites {
 		s := &sites[i]
-		k := effectiveKind(s)
+		k := EffectiveKind(s)
 		if k == spec.KindNone {
 			continue
 		}
@@ -126,7 +126,7 @@ func declaredKinds(sites []Site) []spec.Kind {
 	seen := map[spec.Kind]bool{}
 	var kinds []spec.Kind
 	for i := range sites {
-		k := effectiveKind(&sites[i])
+		k := EffectiveKind(&sites[i])
 		if k == spec.KindNone || seen[k] {
 			continue
 		}
@@ -137,10 +137,11 @@ func declaredKinds(sites []Site) []spec.Kind {
 	return kinds
 }
 
-// effectiveKind reports the kind a site actually allocates: the Impl
+// EffectiveKind reports the kind a site actually allocates: the Impl
 // override when forced, the declared kind otherwise (abstract for
-// inherited sites).
-func effectiveKind(s *Site) spec.Kind {
+// inherited sites). chameleon-apply uses this to check a plan decision
+// against what the site really produces.
+func EffectiveKind(s *Site) spec.Kind {
 	if s.Forced != "" {
 		if k, ok := spec.KindByName(s.Forced); ok {
 			return k

@@ -41,6 +41,12 @@ type Result struct {
 	// Sites is the merged cross-package site list in manifest order,
 	// findings attached.
 	Sites []Site
+	// Infos maps Site.ID to the discovery-time syntax record for the
+	// site (AST call, file, package). Sites is authoritative for
+	// findings and safety — the labels pass attaches those to its own
+	// copies — so consumers that need both (chameleon-apply) join a Sites
+	// entry back to its syntax through this map.
+	Infos map[string]*SiteInfo
 	// Diagnostics are all findings, sorted by position then code.
 	Diagnostics []Diagnostic
 	// Module is the module path of the analyzed tree ("" outside a
@@ -61,11 +67,17 @@ func Analyze(dir string, patterns []string, opts Options) (*Result, error) {
 	}
 
 	var sites []Site
+	infos := map[string]*SiteInfo{}
 	pkgPaths := make([]string, 0, len(pkgs))
 	for _, pkg := range pkgs { // pkgs are sorted; merge order is stable
 		pkgPaths = append(pkgPaths, pkg.PkgPath)
 		if res, ok := results[pkg][labelsAnalyzer].([]Site); ok {
 			sites = append(sites, res...)
+		}
+		if res, ok := results[pkg][sitesAnalyzer].([]*SiteInfo); ok {
+			for _, info := range res {
+				infos[info.Site.ID] = info
+			}
 		}
 	}
 	diags = append(diags, DupLabels(sites)...)
@@ -89,6 +101,7 @@ func Analyze(dir string, patterns []string, opts Options) (*Result, error) {
 	return &Result{
 		Packages:    pkgs,
 		Sites:       sites,
+		Infos:       infos,
 		Diagnostics: diags,
 		Module:      Module(dir),
 	}, nil

@@ -55,6 +55,16 @@ type SiteInfo struct {
 	Body *ast.BlockStmt
 	// File is the syntax file containing the call.
 	File *ast.File
+	// Pkg is the loaded package the call lives in (fset, type info).
+	Pkg *Package
+	// CapArgs and ImplArgs are the argument expressions of the call that
+	// resolved to Cap(...) and Impl(...) respectively — the syntax
+	// chameleon-apply replaces or drops when rewriting the site. An
+	// expression is recorded however it resolved (direct option call,
+	// helper, single-assignment variable): replacing or dropping the
+	// argument rewrites only this call, never the helper it came from.
+	CapArgs  []ast.Expr
+	ImplArgs []ast.Expr
 }
 
 // sitesAnalyzer discovers allocation sites; its result is []*SiteInfo.
@@ -260,6 +270,7 @@ func (w *siteWalker) addSite(call *ast.CallExpr, fn *types.Func) {
 		FuncName: funcName,
 		Body:     body,
 		File:     w.file,
+		Pkg:      pass.Pkg,
 	}
 	if declared == spec.KindNone {
 		site.Site.Declared = spec.KindList.String() // NewListFrom: ADT only
@@ -312,6 +323,7 @@ func (w *siteWalker) resolveOptions(site *SiteInfo) {
 			site.Site.LabelKind = LabelStatic
 			site.Site.ContextKey = alloctx.StaticKey(label)
 		case "Cap":
+			site.CapArgs = append(site.CapArgs, arg)
 			if opt.constVal == nil || opt.constVal.Kind() != constant.Int {
 				site.Site.Capacity = -1
 				w.lint(site, arg.Pos(), CodeOpaqueCap,
@@ -322,6 +334,7 @@ func (w *siteWalker) resolveOptions(site *SiteInfo) {
 				site.Site.Capacity = int(v)
 			}
 		case "Impl":
+			site.ImplArgs = append(site.ImplArgs, arg)
 			if opt.constVal != nil && opt.constVal.Kind() == constant.Int {
 				if v, exact := constant.Int64Val(opt.constVal); exact {
 					site.Site.Forced = spec.Kind(v).String()
@@ -467,6 +480,14 @@ func singleAssignment(pass *Pass, id *ast.Ident) (ast.Expr, bool) {
 		return nil, false
 	}
 	return def, true
+}
+
+// IsLibraryPackage reports whether pkgPath is the collections library
+// itself or the root re-export package. Sites inside the library (its
+// own tests and examples) are discovery noise for rewriting tools:
+// chameleon-apply never touches them.
+func IsLibraryPackage(pkgPath string) bool {
+	return pkgPath == collectionsPath || pkgPath == rootPath
 }
 
 // isConstructor reports whether fn is a chameleon collection constructor.

@@ -1,0 +1,240 @@
+package apply
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// Unified diffs, dependency-free. Rewrites touch a handful of lines per
+// file, so the implementation trims the common prefix and suffix first
+// and runs the quadratic LCS only over the small changed middle.
+
+// Diff renders a unified diff of the rewrite, paths made relative to
+// root (for golden-file stability across checkouts). Empty when the
+// rewrite changed nothing.
+func Diff(root string, files []FileRewrite) string {
+	// Site paths are absolute; a relative root (the CLI's default ".")
+	// cannot anchor filepath.Rel against them.
+	if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+	var b strings.Builder
+	for _, f := range files {
+		if string(f.Original) == string(f.Rewritten) {
+			continue
+		}
+		rel := f.Path
+		if r, err := filepath.Rel(root, f.Path); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		b.WriteString(unified(rel, splitLines(string(f.Original)), splitLines(string(f.Rewritten))))
+	}
+	return b.String()
+}
+
+// splitLines splits keeping each line's trailing newline, so a missing
+// final newline stays visible in the diff.
+func splitLines(s string) []string {
+	var lines []string
+	for len(s) > 0 {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			lines = append(lines, s)
+			break
+		}
+		lines = append(lines, s[:i+1])
+		s = s[i+1:]
+	}
+	return lines
+}
+
+// unified renders one file's unified diff with 3 lines of context.
+func unified(rel string, a, b []string) string {
+	const ctx = 3
+	ops := diffOps(a, b)
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- a/%s\n+++ b/%s\n", rel, rel)
+
+	// Group ops into hunks: runs of changes with <= 2*ctx equal lines
+	// between them.
+	for i := 0; i < len(ops); {
+		// Find the next change.
+		for i < len(ops) && ops[i].kind == opEq {
+			i++
+		}
+		if i == len(ops) {
+			break
+		}
+		start := i
+		end := i
+		for j := i; j < len(ops); {
+			if ops[j].kind != opEq {
+				end = j + 1
+				j++
+				continue
+			}
+			// Count the equal run; stop the hunk if it exceeds 2*ctx.
+			run := 0
+			for j+run < len(ops) && ops[j+run].kind == opEq {
+				run++
+			}
+			if run > 2*ctx || j+run == len(ops) {
+				break
+			}
+			j += run
+			end = j
+		}
+		hs := start - ctx
+		if hs < 0 {
+			hs = 0
+		}
+		he := end + ctx
+		if he > len(ops) {
+			he = len(ops)
+		}
+		writeHunk(&out, ops[hs:he])
+		i = he
+	}
+	return out.String()
+}
+
+type opKind int
+
+const (
+	opEq opKind = iota
+	opDel
+	opAdd
+)
+
+type diffOp struct {
+	kind opKind
+	text string
+	// aLine/bLine are 1-based line numbers in a and b (0 when absent).
+	aLine, bLine int
+}
+
+func writeHunk(out *strings.Builder, ops []diffOp) {
+	aStart, bStart := 0, 0
+	aCount, bCount := 0, 0
+	for _, op := range ops {
+		switch op.kind {
+		case opEq:
+			if aStart == 0 {
+				aStart, bStart = op.aLine, op.bLine
+			}
+			aCount++
+			bCount++
+		case opDel:
+			if aStart == 0 {
+				aStart, bStart = op.aLine, op.bLine+1
+			}
+			aCount++
+		case opAdd:
+			if aStart == 0 {
+				aStart, bStart = op.aLine+1, op.bLine
+			}
+			bCount++
+		}
+	}
+	fmt.Fprintf(out, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+	for _, op := range ops {
+		marker := " "
+		if op.kind == opDel {
+			marker = "-"
+		} else if op.kind == opAdd {
+			marker = "+"
+		}
+		text := op.text
+		newline := strings.HasSuffix(text, "\n")
+		if newline {
+			text = text[:len(text)-1]
+		}
+		out.WriteString(marker)
+		out.WriteString(text)
+		out.WriteByte('\n')
+		if !newline {
+			out.WriteString("\\ No newline at end of file\n")
+		}
+	}
+}
+
+// diffOps computes the line-level edit script. Common prefix/suffix are
+// peeled off before the LCS so the quadratic table only covers the
+// changed region.
+func diffOps(a, b []string) []diffOp {
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	am, bm := a[pre:len(a)-suf], b[pre:len(b)-suf]
+
+	// LCS table over the middle.
+	n, m := len(am), len(bm)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if am[i] == bm[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var ops []diffOp
+	aLine, bLine := 0, 0
+	emit := func(kind opKind, text string) {
+		op := diffOp{kind: kind, text: text}
+		switch kind {
+		case opEq:
+			aLine++
+			bLine++
+			op.aLine, op.bLine = aLine, bLine
+		case opDel:
+			aLine++
+			op.aLine, op.bLine = aLine, bLine
+		case opAdd:
+			bLine++
+			op.aLine, op.bLine = aLine, bLine
+		}
+		ops = append(ops, op)
+	}
+	for i := 0; i < pre; i++ {
+		emit(opEq, a[i])
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case am[i] == bm[j]:
+			emit(opEq, am[i])
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			emit(opDel, am[i])
+			i++
+		default:
+			emit(opAdd, bm[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		emit(opDel, am[i])
+	}
+	for ; j < m; j++ {
+		emit(opAdd, bm[j])
+	}
+	for k := len(a) - suf; k < len(a); k++ {
+		emit(opEq, a[k])
+	}
+	return ops
+}

@@ -1,0 +1,176 @@
+package apply
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/workloads"
+)
+
+// Verify: the rewrite's behavioral gate. The named workload runs twice —
+// once in-process against the unmodified library (the interpreted,
+// adaptive path), once as `go run ./cmd/chameleon -mode off` inside a
+// scratch clone of the module with the rewritten files overlaid — and
+// the two schedule-independent checksums must agree. Collection
+// replacements may not change logical behavior (the §1
+// interchangeability requirement); a checksum divergence means the
+// rewrite broke that contract and must not be written.
+
+// VerifyResult reports one verification run.
+type VerifyResult struct {
+	Workload string
+	Scale    int
+	// Expected is the checksum of the in-process reference run; Got is
+	// the rewritten clone's.
+	Expected, Got uint64
+}
+
+// OK reports whether the checksums agree.
+func (v *VerifyResult) OK() bool { return v.Expected == v.Got }
+
+// String renders the outcome one line per contract field.
+func (v *VerifyResult) String() string {
+	verdict := "MATCH"
+	if !v.OK() {
+		verdict = "MISMATCH"
+	}
+	return fmt.Sprintf("verify %s scale %d: expected %#x, rewritten tree %#x: %s",
+		v.Workload, v.Scale, v.Expected, v.Got, verdict)
+}
+
+// Verify runs the named workload against the rewritten tree and checks
+// its checksum against the in-process reference. dir is any directory
+// inside the module; scale <= 0 selects the workload's default.
+func Verify(dir string, files []FileRewrite, workload string, scale int) (*VerifyResult, error) {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = spec.DefaultScale
+	}
+	expected := spec.Run(collections.Plain(), workloads.Baseline, scale)
+
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	clone, err := os.MkdirTemp("", "chameleon-apply-verify-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(clone)
+	if err := copyTree(root, clone); err != nil {
+		return nil, fmt.Errorf("verify: cloning module: %v", err)
+	}
+	for _, f := range files {
+		rel, err := filepath.Rel(root, f.Path)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("verify: rewritten file %s is outside the module root %s", f.Path, root)
+		}
+		if err := os.WriteFile(filepath.Join(clone, rel), f.Rewritten, 0o644); err != nil {
+			return nil, fmt.Errorf("verify: %v", err)
+		}
+	}
+
+	got, err := runWorkload(clone, workload, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &VerifyResult{Workload: workload, Scale: scale, Expected: expected, Got: got}, nil
+}
+
+// runWorkload builds and runs the rewritten tree's chameleon binary with
+// profiling off and parses the checksum it prints.
+func runWorkload(dir, workload string, scale int) (uint64, error) {
+	cmd := exec.Command("go", "run", "./cmd/chameleon",
+		"-workload", workload, "-scale", strconv.Itoa(scale), "-mode", "off")
+	cmd.Dir = dir
+	// Hermetic: the module is dependency-free; the shared build cache
+	// makes the clone build incremental.
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return 0, fmt.Errorf("verify: rewritten tree failed to build or run: %v\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "run complete: checksum="); ok {
+			v, err := strconv.ParseUint(rest, 0, 64)
+			if err != nil {
+				return 0, fmt.Errorf("verify: unparseable checksum %q", rest)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("verify: rewritten tree printed no checksum:\n%s", strings.TrimSpace(stdout.String()))
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("verify: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// copyTree copies the module tree, skipping VCS metadata.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, entry os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if entry.IsDir() {
+			if entry.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			if rel == "." {
+				return nil
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !entry.Type().IsRegular() {
+			return nil
+		}
+		return copyFile(path, filepath.Join(dst, rel))
+	})
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,73 @@
+package apply
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The verify tests are the expensive end of the suite: each one clones
+// the module, overlays the rewrite, and builds + runs the clone's
+// chameleon binary. Small scales keep the runs fast; the build cache
+// keeps the clone builds incremental.
+
+func TestVerifyPMDRewriteMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a module clone")
+	}
+	res := runApply(t, profileWorkload(t, "pmd", 20))
+	if len(res.Files) == 0 {
+		t.Fatal("no rewrite to verify")
+	}
+	v, err := Verify(repoRoot(t), res.Files, "pmd", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() {
+		t.Fatalf("rewritten pmd tree diverges: %s", v)
+	}
+}
+
+func TestVerifyPhaseShiftRewriteMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a module clone")
+	}
+	res := runApply(t, profileWorkload(t, "phaseshift", 50))
+	if len(res.Files) == 0 {
+		t.Fatal("no rewrite to verify")
+	}
+	v, err := Verify(repoRoot(t), res.Files, "phaseshift", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() {
+		t.Fatalf("rewritten phaseshift tree diverges: %s", v)
+	}
+}
+
+// Verify must actually detect divergence, not merely rubber-stamp: a
+// fabricated "rewrite" that changes the workload's PRNG seed changes the
+// operation stream, and the checksums must disagree.
+func TestVerifyDetectsBehaviorChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a module clone")
+	}
+	root := repoRoot(t)
+	path := filepath.Join(root, "internal", "workloads", "pmd.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(src, []byte("newRand(555)"), []byte("newRand(556)"), 1)
+	if bytes.Equal(bad, src) {
+		t.Fatal("seed not found; update the fixture")
+	}
+	v, err := Verify(root, []FileRewrite{{Path: path, Original: src, Rewritten: bad}}, "pmd", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK() {
+		t.Fatalf("behavior change not detected: %s", v)
+	}
+}

@@ -89,14 +89,19 @@ func NewSingletonList[T comparable](rt *Runtime, opts ...Option) *List[T] {
 }
 
 // NewIntArrayList allocates a List[int] backed by an unboxed int array.
+// The decision is routed through decide like every other constructor, so
+// capacity rules and selector policy observe IntArray sites too — but the
+// implementation stays pinned: IntArray is the one backing no selector may
+// swap away (unboxed int storage is the point of the constructor).
 func NewIntArrayList(rt *Runtime, opts ...Option) *List[int] {
 	var o allocOpts
 	for _, opt := range opts {
 		opt(&o)
 	}
 	ctx := rt.resolveContext(&o, spec.KindIntArray)
-	dec := Decision{Impl: spec.KindIntArray, Capacity: o.capacity}
-	l := &List[int]{declared: spec.KindIntArray, impl: newIntArrayList(o.capacity)}
+	dec := rt.decide(ctx, spec.KindIntArray, &o)
+	dec.Impl = spec.KindIntArray
+	l := &List[int]{declared: spec.KindIntArray, impl: newIntArrayList(dec.Capacity)}
 	rt.install(&l.base, l, ctx, spec.KindIntArray, dec)
 	return l
 }
@@ -109,7 +114,10 @@ func NewListFrom[T comparable](rt *Runtime, src *List[T], opts ...Option) *List[
 		opt(&o)
 	}
 	if o.capacity == 0 {
-		o.capacity = src.Size()
+		// src.impl.size(), not src.Size(): sizing the copy is not a client
+		// read of src, and must not record a spurious Size on its profile —
+		// the copy itself is the one Copied recorded below.
+		o.capacity = src.impl.size()
 	}
 	l := newList[T](rt, rt.resolveContext(&o, src.declared), src.declared, &o)
 	src.recordRead(spec.Copied)

@@ -3,6 +3,7 @@ package profiler
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"chameleon/internal/alloctx"
 	"chameleon/internal/heap"
@@ -13,31 +14,36 @@ import (
 // profileWire is the full serialization shape of a Profile: everything the
 // rule engine needs to run offline, including per-op means and deviations.
 type profileWire struct {
-	Context        string             `json:"context"`
-	Declared       string             `json:"declared"`
-	Impl           string             `json:"impl"`
-	Allocs         int64              `json:"allocs"`
-	Live           int64              `json:"live"`
-	Evidence       int64              `json:"evidence,omitempty"`
-	Ops            map[string]int64   `json:"ops,omitempty"`
-	OpsMean        map[string]float64 `json:"opsMean,omitempty"`
-	OpsStdDev      map[string]float64 `json:"opsStdDev,omitempty"`
-	MaxSizeAvg     float64            `json:"maxSizeAvg"`
-	MaxSizeStdDev  float64            `json:"maxSizeStdDev"`
-	MaxSizeMax     float64            `json:"maxSizeMax"`
-	FinalSizeAvg   float64            `json:"finalSizeAvg"`
-	InitialCapAvg  float64            `json:"initialCapAvg"`
-	EmptyIterators int64              `json:"emptyIterators,omitempty"`
-	MaxLive        int64              `json:"maxLive"`
-	MaxUsed        int64              `json:"maxUsed"`
-	MaxCore        int64              `json:"maxCore"`
-	TotLive        int64              `json:"totLive"`
-	TotUsed        int64              `json:"totUsed"`
-	TotCore        int64              `json:"totCore"`
-	TotObjs        int64              `json:"totObjects,omitempty"`
-	MaxObjs        int64              `json:"maxObjects,omitempty"`
-	GCCycles       int64              `json:"gcCycles"`
-	Potential      int64              `json:"potential"`
+	Context       string             `json:"context"`
+	Declared      string             `json:"declared"`
+	Impl          string             `json:"impl"`
+	Allocs        int64              `json:"allocs"`
+	Live          int64              `json:"live"`
+	Evidence      int64              `json:"evidence,omitempty"`
+	Ops           map[string]int64   `json:"ops,omitempty"`
+	OpsMean       map[string]float64 `json:"opsMean,omitempty"`
+	OpsStdDev     map[string]float64 `json:"opsStdDev,omitempty"`
+	MaxSizeAvg    float64            `json:"maxSizeAvg"`
+	MaxSizeStdDev float64            `json:"maxSizeStdDev"`
+	MaxSizeMax    float64            `json:"maxSizeMax"`
+	FinalSizeAvg  float64            `json:"finalSizeAvg"`
+	InitialCapAvg float64            `json:"initialCapAvg"`
+	// SizeHist is the per-instance maximal-size distribution
+	// (value -> instance count). Rules reading emptyFraction or
+	// sizeMode depend on it; a snapshot without it silently reports
+	// every context as never-empty when evaluated offline.
+	SizeHist       map[string]int64 `json:"sizeHist,omitempty"`
+	EmptyIterators int64            `json:"emptyIterators,omitempty"`
+	MaxLive        int64            `json:"maxLive"`
+	MaxUsed        int64            `json:"maxUsed"`
+	MaxCore        int64            `json:"maxCore"`
+	TotLive        int64            `json:"totLive"`
+	TotUsed        int64            `json:"totUsed"`
+	TotCore        int64            `json:"totCore"`
+	TotObjs        int64            `json:"totObjects,omitempty"`
+	MaxObjs        int64            `json:"maxObjects,omitempty"`
+	GCCycles       int64            `json:"gcCycles"`
+	Potential      int64            `json:"potential"`
 }
 
 func (p *Profile) toWire() profileWire {
@@ -79,6 +85,12 @@ func (p *Profile) toWire() profileWire {
 			w.OpsStdDev[op.String()] = p.OpStdDev[op]
 		}
 	}
+	if p.SizeHist != nil && p.SizeHist.Count() > 0 {
+		w.SizeHist = map[string]int64{}
+		for _, v := range p.SizeHist.Values() {
+			w.SizeHist[strconv.FormatInt(v, 10)] = p.SizeHist.CountOf(v)
+		}
+	}
 	return w
 }
 
@@ -95,6 +107,10 @@ const (
 	// maxWireContext caps the context-string length a record may intern;
 	// real contexts are a handful of frames.
 	maxWireContext = 4096
+	// maxWireHistBuckets caps the distinct size values a deserialized
+	// histogram may carry: real size distributions are narrow (§3.3.1);
+	// an unbounded map is an allocation vector.
+	maxWireHistBuckets = 4096
 )
 
 // validate rejects records no run of this profiler could have produced:
@@ -144,6 +160,18 @@ func (w profileWire) validate() error {
 	for name, v := range w.OpsStdDev {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > maxWireSize {
 			return fmt.Errorf("profiler: op stddev %s out of range: %v", name, v)
+		}
+	}
+	if len(w.SizeHist) > maxWireHistBuckets {
+		return fmt.Errorf("profiler: size histogram has %d buckets, exceeds the reader cap", len(w.SizeHist))
+	}
+	for name, v := range w.SizeHist {
+		size, err := strconv.ParseInt(name, 10, 64)
+		if err != nil || size < 0 || float64(size) > maxWireSize {
+			return fmt.Errorf("profiler: size histogram bucket %q out of range", name)
+		}
+		if v < 0 || v > maxWireCount {
+			return fmt.Errorf("profiler: size histogram count for %q out of range: %d", name, v)
 		}
 	}
 	if w.Live > w.Allocs {
@@ -214,6 +242,10 @@ func (w profileWire) toProfile(contexts *alloctx.Table) (*Profile, error) {
 			return nil, err
 		}
 		p.OpStdDev[op] = v
+	}
+	for name, v := range w.SizeHist {
+		size, _ := strconv.ParseInt(name, 10, 64) // validated above
+		p.SizeHist.AddN(size, v)
 	}
 	return p, nil
 }

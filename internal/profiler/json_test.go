@@ -75,6 +75,20 @@ func TestProfilesJSONRoundTrip(t *testing.T) {
 	if a.Potential() != b.Potential() {
 		t.Fatalf("potential differs")
 	}
+	// The size histogram must survive the trip: emptyFraction and sizeMode
+	// read it, and a snapshot that drops it makes every context look
+	// never-empty to offline rule evaluation.
+	if got, want := a.SizeHist.Count(), b.SizeHist.Count(); got != want {
+		t.Fatalf("size histogram count: %d != %d", got, want)
+	}
+	for _, v := range b.SizeHist.Values() {
+		if a.SizeHist.CountOf(v) != b.SizeHist.CountOf(v) {
+			t.Fatalf("size histogram bucket %d: %d != %d", v, a.SizeHist.CountOf(v), b.SizeHist.CountOf(v))
+		}
+	}
+	if a.SizeHist.Fraction(0) != b.SizeHist.Fraction(0) {
+		t.Fatalf("emptyFraction differs after round trip")
+	}
 }
 
 // Deserialized profiles must drive the rule engine identically to live
@@ -118,6 +132,12 @@ func TestReadProfilesRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadProfiles(strings.NewReader(`[{"declared":"HashMap","impl":"HashMap","ops":{"bogusOp":1}}]`)); err == nil {
 		t.Fatal("unknown op accepted")
+	}
+	if _, err := ReadProfiles(strings.NewReader(`[{"context":"a:1","declared":"HashMap","impl":"HashMap","sizeHist":{"nope":1}}]`)); err == nil {
+		t.Fatal("non-numeric size-histogram bucket accepted")
+	}
+	if _, err := ReadProfiles(strings.NewReader(`[{"context":"a:1","declared":"HashMap","impl":"HashMap","sizeHist":{"1":-5}}]`)); err == nil {
+		t.Fatal("negative size-histogram count accepted")
 	}
 }
 

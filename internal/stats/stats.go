@@ -139,6 +139,19 @@ func (h *Histogram) Add(v int64) {
 	h.total++
 }
 
+// AddN records n observations of v in one update (the deserialization
+// form of Add; n <= 0 is a no-op).
+func (h *Histogram) AddN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int64]int64)
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
 // Merge folds another histogram into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil {

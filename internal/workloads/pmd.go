@@ -69,6 +69,12 @@ func RunPMD(rt *collections.Runtime, v Variant, scale int) uint64 {
 		kind := rng.intn(100)
 		var violations *collections.List[int]
 		switch {
+		case v == Specialized:
+			// The chameleon-apply output for the baseline site: the decided
+			// LazyArrayList moves to its fixed constructor; the original
+			// Cap argument is kept (the lazy rule carries no capacity).
+			violations = collections.NewFixedLazyArrayList[int](rt, pmdViolationsCtx(),
+				collections.Cap(pmdOversizedCap))
 		case v == Baseline:
 			violations = collections.NewArrayList[int](rt, pmdViolationsCtx(),
 				collections.Cap(pmdOversizedCap))

@@ -69,11 +69,19 @@ func (st *tvlaState) free() {
 // with it, which is what makes TVLA memory-bound.
 func RunTVLA(rt *collections.Runtime, v Variant, scale int) uint64 {
 	mk := func(i int) *collections.Map[int, int] {
-		if v == Tuned {
+		switch v {
+		case Tuned:
 			// Chameleon suggestion for contexts 1..7: "replace with
 			// ArrayMap (initial capacity maxSize)".
 			return collections.NewHashMap[int, int](rt, tvlaContext(i),
 				collections.Impl(spec.KindArrayMap), collections.Cap(tvlaMapSize))
+		case Specialized:
+			// The committed form of the same suggestion. chameleon-apply
+			// refuses these sites (S007: the At label is built with
+			// Sprintf), so the fix is applied by hand from the report —
+			// the paper's §5.2 flow — using the fixed constructor.
+			return collections.NewFixedArrayMap[int, int](rt, tvlaContext(i),
+				collections.Cap(tvlaMapSize))
 		}
 		return collections.NewHashMap[int, int](rt, tvlaContext(i))
 	}
@@ -102,10 +110,13 @@ func runTVLA(rt *collections.Runtime, v Variant, mk tvlaMapMaker, scale int) uin
 	// an ArrayList.
 	var worklist *collections.List[int]
 	wctx := collections.At("tvla.engine.Engine:77;tvla.engine.Worklist:12")
-	if v == Tuned {
+	switch v {
+	case Tuned:
 		worklist = collections.NewLinkedList[int](rt, wctx,
 			collections.Impl(spec.KindArrayList), collections.Cap(64))
-	} else {
+	case Specialized:
+		worklist = collections.NewFixedArrayList[int](rt, wctx, collections.Cap(64))
+	default:
 		worklist = collections.NewLinkedList[int](rt, wctx)
 	}
 	defer worklist.Free()

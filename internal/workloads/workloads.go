@@ -41,12 +41,22 @@ const (
 	// Tuned applies the fixes suggested by the Chameleon report for this
 	// workload (the §5.2 methodology steps 3-4).
 	Tuned
+	// Specialized is the ahead-of-time committed form of the fixes: the
+	// sites the report decides move to their NewFixed* concrete
+	// constructors (final backing, no profiling wrapper) — the shape
+	// chameleon-apply writes, hand-mirrored here so the variant exists
+	// even for sites the rewriter refuses (e.g. dynamic At labels).
+	// Workloads without a specialization fall back to their baseline.
+	Specialized
 )
 
 // String names the variant.
 func (v Variant) String() string {
-	if v == Tuned {
+	switch v {
+	case Tuned:
 		return "tuned"
+	case Specialized:
+		return "specialized"
 	}
 	return "baseline"
 }

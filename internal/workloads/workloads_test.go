@@ -57,6 +57,10 @@ func TestVariantsComputeIdenticalResults(t *testing.T) {
 			if base != tuned {
 				t.Fatalf("checksum diverged: baseline=%#x tuned=%#x", base, tuned)
 			}
+			specialized, _, _ := runInSession(t, spec, Specialized, testScale)
+			if base != specialized {
+				t.Fatalf("checksum diverged: baseline=%#x specialized=%#x", base, specialized)
+			}
 			if base == 0 {
 				t.Fatalf("checksum is zero — workload did no observable work")
 			}
@@ -240,7 +244,7 @@ func mustSpec(t *testing.T, name string) Spec {
 }
 
 func TestVariantString(t *testing.T) {
-	if Baseline.String() != "baseline" || Tuned.String() != "tuned" {
+	if Baseline.String() != "baseline" || Tuned.String() != "tuned" || Specialized.String() != "specialized" {
 		t.Fatal("variant names wrong")
 	}
 }
