@@ -361,7 +361,7 @@ func BenchmarkGCGenerational(b *testing.B) {
 
 func BenchmarkMapGet(b *testing.B) {
 	for _, size := range []int{4, 16, 64} {
-		for _, kind := range []spec.Kind{spec.KindHashMap, spec.KindOpenHashMap, spec.KindArrayMap} {
+		for _, kind := range []spec.Kind{spec.KindHashMap, spec.KindOpenHashMap, spec.KindArrayMap, spec.KindShardedHashMap, spec.KindBTreeMap} {
 			size, kind := size, kind
 			b.Run(fmt.Sprintf("%v/n=%d", kind, size), func(b *testing.B) {
 				m := collections.NewHashMap[int, int](collections.Plain(), collections.Impl(kind), collections.Cap(size))
@@ -401,7 +401,7 @@ func BenchmarkMapGet(b *testing.B) {
 
 func BenchmarkSetContains(b *testing.B) {
 	for _, size := range []int{4, 16, 64} {
-		for _, kind := range []spec.Kind{spec.KindHashSet, spec.KindOpenHashSet, spec.KindArraySet} {
+		for _, kind := range []spec.Kind{spec.KindHashSet, spec.KindOpenHashSet, spec.KindArraySet, spec.KindCowHashSet} {
 			size, kind := size, kind
 			b.Run(fmt.Sprintf("%v/n=%d", kind, size), func(b *testing.B) {
 				s := collections.NewHashSet[int](collections.Plain(), collections.Impl(kind), collections.Cap(size))
@@ -420,7 +420,7 @@ func BenchmarkSetContains(b *testing.B) {
 }
 
 func BenchmarkListAppend(b *testing.B) {
-	for _, kind := range []spec.Kind{spec.KindArrayList, spec.KindLinkedList, spec.KindSinglyLinkedList, spec.KindLazyArrayList} {
+	for _, kind := range []spec.Kind{spec.KindArrayList, spec.KindLinkedList, spec.KindSinglyLinkedList, spec.KindLazyArrayList, spec.KindCowArrayList} {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -488,19 +488,22 @@ func BenchmarkListRandomAccess(b *testing.B) {
 // --- Concurrent sessions: the server workload across worker counts. ---
 
 // BenchmarkConcurrentServer measures one shared Session handling requests
-// from 1/2/4/8 goroutines, under static and dynamic context capture, with
-// and without the online selector. Throughput (req/s) should scale with
-// workers now that the heap and profiler shard their locking; the workers=1
-// rows double as the single-goroutine overhead check against the
-// pre-sharding numbers.
+// from 1/2/4/8/16 goroutines, under static and dynamic context capture,
+// with and without the online selector. Throughput (req/s) should scale
+// with workers now that the heap and profiler shard their locking and the
+// selector serves decided contexts lock-free; the workers=1 rows double as
+// the single-goroutine overhead check against the pre-sharding numbers,
+// and allocs/op tracks the per-request allocation cost of the dynamic
+// capture path.
 func BenchmarkConcurrentServer(b *testing.B) {
 	const scale = 60
 	for _, mode := range []alloctx.Mode{alloctx.Static, alloctx.Dynamic} {
 		for _, online := range []bool{false, true} {
-			for _, workers := range []int{1, 2, 4, 8} {
+			for _, workers := range []int{1, 2, 4, 8, 16} {
 				mode, online, workers := mode, online, workers
 				name := fmt.Sprintf("%s/online=%v/workers=%d", mode, online, workers)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					var requests int
 					for i := 0; i < b.N; i++ {
 						s := core.NewSession(core.Config{
@@ -520,6 +523,54 @@ func BenchmarkConcurrentServer(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkFrontendLatency measures the latency-SLO frontend workload:
+// p50/p99/p999 request latency (µs) and throughput for each backing choice
+// — baseline (sequential backings behind a client mutex), tuned
+// (concurrent-native backings, no client lock), and online (the selector
+// discovers the concurrent backings mid-run from the contention
+// statistic). The checksum metric is the schedule-independent result
+// folded to 32 bits; every row must report the same value.
+func BenchmarkFrontendLatency(b *testing.B) {
+	const scale = 120
+	run := func(b *testing.B, v workloads.Variant, online bool, workers int) {
+		b.ReportAllocs()
+		var last workloads.FrontendResult
+		var requests int
+		for i := 0; i < b.N; i++ {
+			s := core.NewSession(core.Config{
+				Mode:          alloctx.Static,
+				Online:        online,
+				OnlineOptions: adaptive.Options{MinEvidence: 4},
+				GCThreshold:   64 << 10,
+				DropSnapshots: true,
+			})
+			last = workloads.FrontendRun(s.Runtime(), v, scale, workers, 0)
+			if last.Checksum == 0 {
+				b.Fatal("zero checksum")
+			}
+			s.FinalGC()
+			requests += last.Requests
+		}
+		b.ReportMetric(float64(last.P50.Microseconds()), "p50-us")
+		b.ReportMetric(float64(last.P99.Microseconds()), "p99-us")
+		b.ReportMetric(float64(last.P999.Microseconds()), "p999-us")
+		b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(uint32(last.Checksum>>32)^uint32(last.Checksum)), "checksum32")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("baseline/workers=%d", workers), func(b *testing.B) {
+			run(b, workloads.Baseline, false, workers)
+		})
+		b.Run(fmt.Sprintf("tuned/workers=%d", workers), func(b *testing.B) {
+			run(b, workloads.Tuned, false, workers)
+		})
+		b.Run(fmt.Sprintf("online/workers=%d", workers), func(b *testing.B) {
+			run(b, workloads.Baseline, true, workers)
+		})
 	}
 }
 

@@ -1,14 +1,22 @@
 // Command bench-trajectory runs the repo's headline benchmarks and
-// writes their ns/op numbers to a JSON file (BENCH_pr<N>.json by
-// convention), so successive PRs can diff the performance trajectory of
-// the profiling hot path. CI runs it with -benchtime 1x as a smoke and
-// uploads the JSON as an artifact; locally, run with a real benchtime to
-// regenerate the checked-in file:
+// writes their numbers to a JSON file (BENCH_pr<N>.json by convention),
+// so successive PRs can diff the performance trajectory of the profiling
+// hot path. CI runs it with -benchtime 1x as a smoke and uploads the JSON
+// as an artifact; locally, run with a real benchtime to regenerate the
+// checked-in file:
 //
 //	go run ./cmd/bench-trajectory -benchtime 0.3s -count 3 -out BENCH_pr3.json
 //
 // The minimum ns/op across -count repetitions is kept per benchmark (the
-// usual way to strip scheduler noise from single-machine runs).
+// usual way to strip scheduler noise from single-machine runs); custom
+// metrics (req/s, latency quantiles, allocs/op, ...) are taken from the
+// same repetition that produced the minimum.
+//
+// After the run, the fresh numbers are compared against the latest
+// committed BENCH_pr*.json and a per-benchmark delta table is printed,
+// flagging regressions above 10%. The comparison is advisory (exit code
+// stays 0): machines differ between PRs, so the table is review input,
+// not a gate.
 package main
 
 import (
@@ -19,17 +27,20 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // headline is the benchmark set the trajectory tracks, as one -bench regex.
-const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer|BenchmarkGovernorTiers"
+const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer|BenchmarkGovernorTiers|BenchmarkFrontendLatency"
 
-// resultLine matches one `go test -bench` result, e.g.
-// "BenchmarkMapGet/HashMap/n=4-8   49134991   6.733 ns/op".
-var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+// resultLine matches one `go test -bench` result up to the iteration
+// count, e.g. "BenchmarkMapGet/HashMap/n=4-8   49134991   6.733 ns/op";
+// the remainder of the line is parsed as value/unit metric pairs.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
 	var (
@@ -37,6 +48,7 @@ func main() {
 		count     = flag.Int("count", 1, "repetitions; the minimum ns/op is kept")
 		out       = flag.String("out", "BENCH_pr3.json", "output JSON path")
 		bench     = flag.String("bench", headline, "benchmark selection regex")
+		baseline  = flag.String("baseline", "", "BENCH_pr*.json to diff against (default: latest committed, excluding -out)")
 	)
 	flag.Parse()
 
@@ -54,6 +66,7 @@ func main() {
 	}
 
 	nsop := map[string]float64{}
+	metrics := map[string]map[string]float64{}
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -61,12 +74,17 @@ func main() {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
+		name, rest := m[1], parseMetrics(m[2])
+		v, ok := rest["ns/op"]
+		if !ok {
 			continue
 		}
-		if cur, ok := nsop[m[1]]; !ok || v < cur {
-			nsop[m[1]] = v
+		if cur, seen := nsop[name]; !seen || v < cur {
+			nsop[name] = v
+			delete(rest, "ns/op")
+			if len(rest) > 0 {
+				metrics[name] = rest
+			}
 		}
 	}
 	if len(nsop) == 0 {
@@ -92,6 +110,33 @@ func main() {
 		}
 		fmt.Fprintf(&buf, "    %q: %g%s\n", n, nsop[n], comma)
 	}
+	buf.WriteString("  },\n")
+	buf.WriteString("  \"metrics\": {\n")
+	withMetrics := make([]string, 0, len(metrics))
+	for _, n := range names {
+		if len(metrics[n]) > 0 {
+			withMetrics = append(withMetrics, n)
+		}
+	}
+	for i, n := range withMetrics {
+		units := make([]string, 0, len(metrics[n]))
+		for u := range metrics[n] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		fmt.Fprintf(&buf, "    %q: {", n)
+		for j, u := range units {
+			if j > 0 {
+				buf.WriteString(", ")
+			}
+			fmt.Fprintf(&buf, "%q: %g", u, metrics[n][u])
+		}
+		comma := ","
+		if i == len(withMetrics)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&buf, "}%s\n", comma)
+	}
 	buf.WriteString("  }\n}\n")
 
 	// Sanity: the file must round-trip as JSON.
@@ -105,4 +150,98 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("bench-trajectory: wrote %d benchmarks to %s\n", len(names), *out)
+
+	printDelta(*baseline, *out, nsop)
+}
+
+// parseMetrics splits the tail of a benchmark line into value/unit pairs
+// ("6.733 ns/op  235057 req/s" -> {"ns/op": 6.733, "req/s": 235057}).
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break // not a metric pair; stop at the first non-conforming token
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}
+
+// printDelta compares fresh ns/op numbers against a committed baseline
+// file and prints a per-benchmark table, flagging >10% regressions. The
+// comparison is informational only — hardware differs across PRs — so it
+// never fails the run.
+func printDelta(baseline, out string, fresh map[string]float64) {
+	if baseline == "" {
+		baseline = latestBenchFile(out)
+	}
+	if baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: baseline %s: %v\n", baseline, err)
+		return
+	}
+	var prev struct {
+		NsPerOp map[string]float64 `json:"ns_per_op"`
+	}
+	if err := json.Unmarshal(raw, &prev); err != nil || len(prev.NsPerOp) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: baseline %s: unusable (%v)\n", baseline, err)
+		return
+	}
+
+	names := make([]string, 0, len(fresh))
+	for n := range fresh {
+		if _, ok := prev.NsPerOp[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("delta vs %s: no overlapping benchmarks\n", baseline)
+		return
+	}
+	regressions := 0
+	fmt.Printf("\ndelta vs %s (>+10%% flagged; advisory, different machines differ):\n", baseline)
+	fmt.Printf("  %-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range names {
+		old, cur := prev.NsPerOp[n], fresh[n]
+		pct := 100 * (cur - old) / old
+		flag := ""
+		if pct > 10 {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-64s %14.0f %14.0f %+7.1f%%%s\n", n, old, cur, pct, flag)
+	}
+	if regressions > 0 {
+		fmt.Printf("bench-trajectory: %d benchmark(s) regressed >10%% vs %s (advisory)\n", regressions, baseline)
+	}
+}
+
+// latestBenchFile finds the highest-numbered committed BENCH_pr<N>.json,
+// skipping the file this run is about to write.
+func latestBenchFile(out string) string {
+	matches, _ := filepath.Glob("BENCH_pr*.json")
+	re := regexp.MustCompile(`^BENCH_pr(\d+)\.json$`)
+	best, bestN := "", -1
+	outAbs, _ := filepath.Abs(out)
+	for _, f := range matches {
+		fAbs, _ := filepath.Abs(f)
+		if fAbs == outAbs {
+			continue
+		}
+		m := re.FindStringSubmatch(filepath.Base(f))
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			bestN, best = n, f
+		}
+	}
+	return best
 }

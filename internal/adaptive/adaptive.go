@@ -105,17 +105,26 @@ func (o Options) fill() Options {
 const neverCheck = 1 << 62
 
 // decisionState is one context's cached decision and its guarded lifecycle
-// (see Status). Its fields are guarded by its own mutex, so hammering one
-// context from many goroutines contends only on that context's state, and
-// distinct contexts do not contend at all.
+// (see Status). The mutable fields are guarded by its own mutex, except
+// allocs (atomic, so the lock-free fast path can count) and fast (the
+// published fast-path snapshot). Hammering one context from many goroutines
+// contends only on that context's state, and distinct contexts do not
+// contend at all.
 type decisionState struct {
 	mu        sync.Mutex
-	allocs    int64
+	allocs    atomic.Int64
 	decided   bool
 	deciding  bool // a goroutine is evaluating or verifying outside the lock
 	nextCheck int64
 	decision  collections.Decision
 	useIt     bool
+
+	// fast is the lock-free snapshot of the cached outcome: allocations
+	// numbered below fast.next return it without touching mu. It is
+	// republished (under mu) at every point that mutates the cached
+	// decision or moves a threshold, so the fast path can never serve a
+	// stale decision past the allocation that should reconsider it.
+	fast atomic.Pointer[fastDecision]
 
 	status    Status
 	rule      *rules.Rule // rule backing the applied decision (nil otherwise)
@@ -124,6 +133,25 @@ type decisionState struct {
 	panics    int64
 	rollbacks int64
 	lastErr   string
+}
+
+// fastDecision is the immutable snapshot served by the lock-free Select
+// fast path: the cached outcome plus the allocation count at which the
+// slow path must run again (the nearest of nextCheck and verifyAt).
+type fastDecision struct {
+	use  bool
+	dec  collections.Decision
+	next int64
+}
+
+// publishFastLocked republishes the fast-path snapshot from the current
+// cached state. Callers hold st.mu.
+func (st *decisionState) publishFastLocked() {
+	next := st.nextCheck
+	if st.verifyAt > 0 && st.verifyAt < next {
+		next = st.verifyAt
+	}
+	st.fast.Store(&fastDecision{use: st.decided && st.useIt, dec: st.decision, next: next})
 }
 
 // selectAction is the work a Select call claimed for this allocation.
@@ -213,12 +241,25 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 	}
 	st := v.(*decisionState)
 
+	// Lock-free fast path: while this allocation is strictly below the next
+	// threshold, serve the published snapshot without taking st.mu. This is
+	// what keeps a hot shared context from serializing every allocating
+	// goroutine on one mutex — after a decision lands, the steady state is
+	// one atomic add and one pointer load.
+	n := st.allocs.Add(1)
+	if f := st.fast.Load(); f != nil && n < f.next {
+		if f.use {
+			s.replacements.Add(1)
+			return f.dec
+		}
+		return def
+	}
+
 	paused := s.paused.Load()
 	st.mu.Lock()
-	st.allocs++
 	action := actNone
 	if !st.deciding && !paused {
-		if st.allocs >= st.nextCheck &&
+		if n >= st.nextCheck &&
 			(!st.decided || s.opts.ReevaluateEvery > 0 || st.status == StatusQuarantined) {
 			// Claim the evaluation: concurrent allocations crossing the
 			// threshold together see deciding=true (or the bumped
@@ -227,19 +268,20 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 			action = actDecide
 			st.deciding = true
 			if s.opts.ReevaluateEvery > 0 {
-				st.nextCheck = st.allocs + s.opts.ReevaluateEvery
+				st.nextCheck = st.allocs.Load() + s.opts.ReevaluateEvery
 			} else {
 				st.nextCheck = neverCheck
 			}
-		} else if st.verifyAt > 0 && st.allocs >= st.verifyAt {
+		} else if st.verifyAt > 0 && n >= st.verifyAt {
 			// Claim a verification of the applied decision's premise; the
 			// same deciding flag keeps evaluation and verification from
 			// racing each other on one context.
 			action = actVerify
 			st.deciding = true
-			st.verifyAt = st.allocs + s.opts.VerifyEvery
+			st.verifyAt = st.allocs.Load() + s.opts.VerifyEvery
 		}
 	}
+	st.publishFastLocked()
 	use, dec := st.decided && st.useIt, st.decision
 	st.mu.Unlock()
 
@@ -302,6 +344,7 @@ func (s *Selector) runDecide(st *decisionState, ctxKey uint64, declared spec.Kin
 		st.decided, st.useIt, st.rule = true, false, nil
 		st.status, st.verifyAt = StatusDefault, 0
 		st.lastErr = err.Error()
+		st.publishFastLocked()
 		st.mu.Unlock()
 		return
 	}
@@ -310,11 +353,12 @@ func (s *Selector) runDecide(st *decisionState, ctxKey uint64, declared spec.Kin
 	if u {
 		st.status = StatusActive
 		if s.opts.VerifyEvery > 0 {
-			st.verifyAt = st.allocs + s.opts.VerifyEvery
+			st.verifyAt = st.allocs.Load() + s.opts.VerifyEvery
 		}
 	} else {
 		st.status, st.verifyAt = StatusDefault, 0
 	}
+	st.publishFastLocked()
 	st.mu.Unlock()
 	if u && s.opts.VerifyEvery > 0 {
 		// Open the post-decision evidence window the verification will be

@@ -1,0 +1,54 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/spec"
+	"chameleon/internal/workloads"
+)
+
+// The whole point of the contention statistic is that the online selector,
+// watching a real multi-goroutine workload, replaces a mutex-guarded
+// HashMap with a concurrent-native backing. This test runs the frontend
+// workload against a live selector and asserts the crossGoroutineFraction
+// rule actually fired.
+//
+// The cross-goroutine fraction depends on scheduler interleaving, which one
+// run on a loaded (or single-CPU) machine may not produce; the open-loop
+// pacing makes workers yield between requests, and the bounded retry with a
+// longer run damps the residual variance.
+func TestFrontendFiresConcurrentRule(t *testing.T) {
+	workers := 8
+	for attempt, scale := range []int{48, 96, 192} {
+		rt, sel, _ := runtimeWithSelector(Options{MinEvidence: 4})
+		res := workloads.FrontendRun(rt, workloads.Baseline, scale, workers, 150*time.Microsecond)
+
+		// Replacement may never change what the program computes.
+		want := workloads.RunFrontend(collections.Plain(), workloads.Baseline, scale)
+		if res.Checksum != want {
+			t.Fatalf("selector-driven run changed the checksum: %#x, want %#x", res.Checksum, want)
+		}
+
+		var sharded bool
+		kinds := map[spec.Kind]int{}
+		for _, dec := range sel.Decisions() {
+			kinds[dec.Impl]++
+			if dec.Impl == spec.KindShardedHashMap {
+				sharded = true
+			}
+		}
+		if sharded {
+			if sel.Replacements() == 0 {
+				t.Fatal("decision applied but no replacement counted")
+			}
+			t.Logf("attempt %d (scale %d): decisions %v, %d replacements",
+				attempt, scale, kinds, sel.Replacements())
+			return
+		}
+		t.Logf("attempt %d (scale %d): no ShardedHashMap decision yet (decisions %v)",
+			attempt, scale, kinds)
+	}
+	t.Fatal("crossGoroutineFraction rule never selected ShardedHashMap for the frontend cache")
+}

@@ -104,7 +104,7 @@ func (s *Selector) Statuses() []ContextStatus {
 			Status:    st.status,
 			Decision:  st.decision,
 			Applied:   st.decided && st.useIt,
-			Allocs:    st.allocs,
+			Allocs:    st.allocs.Load(),
 			Panics:    st.panics,
 			Rollbacks: st.rollbacks,
 			Backoff:   st.backoff,
@@ -280,8 +280,9 @@ func (s *Selector) quarantineLocked(st *decisionState, reason string) {
 	st.decided, st.useIt, st.rule = true, false, nil
 	st.status = StatusQuarantined
 	st.verifyAt = 0
-	st.nextCheck = st.allocs + st.backoff
+	st.nextCheck = st.allocs.Load() + st.backoff
 	st.lastErr = reason
+	st.publishFastLocked()
 	s.quarantines.Add(1)
 }
 

@@ -1,0 +1,185 @@
+package collections
+
+import (
+	"cmp"
+	"sort"
+
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+)
+
+// btreeMap is the sorted map backing: iteration visits keys in ascending
+// order, which is what scan-heavy ordered contexts want. Like the hash
+// backings, the Go structure provides the semantics (sorted parallel
+// key/value slices with binary search) while foot() models the layout the
+// kind names — a B-tree whose wide nodes amortize per-entry pointer
+// overhead across btreeNodeWidth entries, instead of one entry object per
+// element.
+//
+// Ordering needs a comparison, which Go's `comparable` constraint does not
+// supply; keyCompare covers the ordered builtin types. For key types with
+// no order, newMapImpl falls back to the default hash map (and the
+// wrapper's Kind() honestly reports what backs it).
+type btreeMap[K comparable, V comparable] struct {
+	keys []K
+	vals []V
+	cmp  func(a, b K) int
+}
+
+// btreeNodeWidth is the modeled B-tree fanout: entries per node in the
+// simulated footprint.
+const btreeNodeWidth = 16
+
+// keyCompare returns an ordering for K when K is one of the ordered builtin
+// types, or nil when K has no natural order.
+func keyCompare[K comparable]() func(a, b K) int {
+	var zero K
+	switch any(zero).(type) {
+	case int:
+		return func(a, b K) int { return cmp.Compare(any(a).(int), any(b).(int)) }
+	case int8:
+		return func(a, b K) int { return cmp.Compare(any(a).(int8), any(b).(int8)) }
+	case int16:
+		return func(a, b K) int { return cmp.Compare(any(a).(int16), any(b).(int16)) }
+	case int32:
+		return func(a, b K) int { return cmp.Compare(any(a).(int32), any(b).(int32)) }
+	case int64:
+		return func(a, b K) int { return cmp.Compare(any(a).(int64), any(b).(int64)) }
+	case uint:
+		return func(a, b K) int { return cmp.Compare(any(a).(uint), any(b).(uint)) }
+	case uint8:
+		return func(a, b K) int { return cmp.Compare(any(a).(uint8), any(b).(uint8)) }
+	case uint16:
+		return func(a, b K) int { return cmp.Compare(any(a).(uint16), any(b).(uint16)) }
+	case uint32:
+		return func(a, b K) int { return cmp.Compare(any(a).(uint32), any(b).(uint32)) }
+	case uint64:
+		return func(a, b K) int { return cmp.Compare(any(a).(uint64), any(b).(uint64)) }
+	case uintptr:
+		return func(a, b K) int { return cmp.Compare(any(a).(uintptr), any(b).(uintptr)) }
+	case float32:
+		return func(a, b K) int { return cmp.Compare(any(a).(float32), any(b).(float32)) }
+	case float64:
+		return func(a, b K) int { return cmp.Compare(any(a).(float64), any(b).(float64)) }
+	case string:
+		return func(a, b K) int { return cmp.Compare(any(a).(string), any(b).(string)) }
+	}
+	return nil
+}
+
+func newBTreeMap[K comparable, V comparable](compare func(a, b K) int) *btreeMap[K, V] {
+	return &btreeMap[K, V]{cmp: compare}
+}
+
+func (b *btreeMap[K, V]) kind() spec.Kind { return spec.KindBTreeMap }
+func (b *btreeMap[K, V]) size() int       { return len(b.keys) }
+
+// capacity reports the entry slots the modeled node set provides: nodes are
+// allocated whole, so capacity rounds the size up to the node width.
+func (b *btreeMap[K, V]) capacity() int {
+	nodes := (len(b.keys) + btreeNodeWidth - 1) / btreeNodeWidth
+	if nodes == 0 {
+		nodes = 1
+	}
+	return nodes * btreeNodeWidth
+}
+
+// search returns the index of k, or the insertion point with found=false.
+func (b *btreeMap[K, V]) search(k K) (int, bool) {
+	i := sort.Search(len(b.keys), func(i int) bool { return b.cmp(b.keys[i], k) >= 0 })
+	return i, i < len(b.keys) && b.keys[i] == k
+}
+
+func (b *btreeMap[K, V]) put(k K, v V) (V, bool) {
+	i, found := b.search(k)
+	if found {
+		old := b.vals[i]
+		b.vals[i] = v
+		return old, true
+	}
+	var zk K
+	var zv V
+	b.keys = append(b.keys, zk)
+	b.vals = append(b.vals, zv)
+	copy(b.keys[i+1:], b.keys[i:])
+	copy(b.vals[i+1:], b.vals[i:])
+	b.keys[i], b.vals[i] = k, v
+	var zero V
+	return zero, false
+}
+
+func (b *btreeMap[K, V]) get(k K) (V, bool) {
+	if i, found := b.search(k); found {
+		return b.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+func (b *btreeMap[K, V]) removeKey(k K) (V, bool) {
+	i, found := b.search(k)
+	if !found {
+		var zero V
+		return zero, false
+	}
+	old := b.vals[i]
+	b.keys = append(b.keys[:i], b.keys[i+1:]...)
+	b.vals = append(b.vals[:i], b.vals[i+1:]...)
+	return old, true
+}
+
+func (b *btreeMap[K, V]) containsKey(k K) bool {
+	_, found := b.search(k)
+	return found
+}
+
+func (b *btreeMap[K, V]) containsValue(v V) bool {
+	for _, x := range b.vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *btreeMap[K, V]) clear() {
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+}
+
+// each visits entries in ascending key order — the ordered-scan contract.
+func (b *btreeMap[K, V]) each(f func(K, V) bool) {
+	for i, k := range b.keys {
+		if !f(k, b.vals[i]) {
+			return
+		}
+	}
+}
+
+func (b *btreeMap[K, V]) foot(m heap.SizeModel) heap.Footprint {
+	// Modeled layout: a root object plus one node object per
+	// btreeNodeWidth entries; each node holds parallel key/value arrays
+	// and a child-pointer array, so per-entry overhead is ~3 pointers
+	// amortized instead of a 24-byte entry object per element.
+	n := int64(len(b.keys))
+	nodes := (n + btreeNodeWidth - 1) / btreeNodeWidth
+	obj := m.ObjectFields(1, 2) // root ref + size + height
+	node := m.ObjectFields(3, 1) + 2*m.PtrArray(btreeNodeWidth) + m.PtrArray(btreeNodeWidth+1)
+	usedNode := func(entries int64) int64 {
+		return m.ObjectFields(3, 1) + 2*m.PtrArray(entries) + m.PtrArray(entries+1)
+	}
+	f := heap.Footprint{
+		Live: obj + nodes*node,
+		Used: obj,
+	}
+	rem := n
+	for i := int64(0); i < nodes; i++ {
+		e := min(rem, btreeNodeWidth)
+		f.Used += usedNode(e)
+		rem -= e
+	}
+	if n > 0 {
+		f.Core = m.AlignUp(m.ArrayHeader + 2*n*m.Pointer)
+	}
+	return f
+}

@@ -1,0 +1,470 @@
+package collections
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"chameleon/internal/heap"
+	"chameleon/internal/spec"
+)
+
+// Concurrent-native backings (ROADMAP item 5): implementations that are
+// safe for unsynchronized use from many goroutines, selectable by the
+// contention rules when the profiler observes cross-goroutine access
+// (crossGoroutineFraction; docs/CONCURRENCY.md). They satisfy the same
+// mapImpl/setImpl/listImpl contracts as the sequential backings, so the
+// wrappers, the rule engine and the online selector treat them uniformly;
+// the wrapper routes instrumentation onto the atomic shared path when the
+// decided kind reports spec.Kind.Concurrent().
+//
+// Like every backing here, the Go structures provide the semantics while
+// foot() models the corresponding Java-era layout under the simulated
+// 32-bit size model, and iteration order is deterministic for a given
+// operation history (per-shard insertion order / snapshot order), which the
+// schedule-independence tests rely on.
+
+// shardedMapShards is the fixed shard count of shardedHashMap: a power of
+// two so key-to-shard is a mask. Eight shards keep per-shard contention low
+// well past eight writer goroutines without bloating the simulated
+// footprint of small maps.
+const shardedMapShards = 8
+
+// mapShardSeed is the process-wide seed for sharding keys. One seed (rather
+// than per-map) keeps shard placement deterministic across instances in a
+// run, which makes footprints and iteration order reproducible for a fixed
+// key history.
+var mapShardSeed = maphash.MakeSeed()
+
+// mapShard is one lock-striped slice of a shardedHashMap. The mutex guards
+// the map, the insertion-order index and the simulated table capacity.
+type mapShard[K comparable, V comparable] struct {
+	mu       sync.Mutex
+	m        map[K]V
+	order    []K
+	tableCap int
+}
+
+// shardedHashMap is a concurrent N-way sharded chained hash map: each key
+// hashes to one shard, so goroutines contend only when they hit the same
+// shard. The aggregate size is an atomic counter maintained under the shard
+// locks, so lock-free readers (size, the wrapper's footprint sync) see a
+// consistent monotonic value.
+type shardedHashMap[K comparable, V comparable] struct {
+	shards [shardedMapShards]mapShard[K, V]
+	n      atomic.Int64
+}
+
+func newShardedHashMap[K comparable, V comparable](capacity int) *shardedHashMap[K, V] {
+	s := &shardedHashMap[K, V]{}
+	per := tableCapFor((capacity + shardedMapShards - 1) / shardedMapShards)
+	for i := range s.shards {
+		s.shards[i].m = make(map[K]V)
+		s.shards[i].tableCap = per
+	}
+	return s
+}
+
+func (s *shardedHashMap[K, V]) shardOf(k K) *mapShard[K, V] {
+	return &s.shards[maphash.Comparable(mapShardSeed, k)&(shardedMapShards-1)]
+}
+
+func (s *shardedHashMap[K, V]) kind() spec.Kind { return spec.KindShardedHashMap }
+func (s *shardedHashMap[K, V]) size() int       { return int(s.n.Load()) }
+
+func (s *shardedHashMap[K, V]) capacity() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.tableCap
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+func (s *shardedHashMap[K, V]) put(k K, v V) (V, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	old, existed := sh.m[k]
+	sh.m[k] = v
+	if !existed {
+		sh.order = append(sh.order, k)
+		for len(sh.m)*loadDen > sh.tableCap*loadNum {
+			sh.tableCap <<= 1
+		}
+		s.n.Add(1)
+	}
+	sh.mu.Unlock()
+	return old, existed
+}
+
+func (s *shardedHashMap[K, V]) get(k K) (V, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (s *shardedHashMap[K, V]) removeKey(k K) (V, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	if ok {
+		delete(sh.m, k)
+		for i, x := range sh.order {
+			if x == k {
+				sh.order = append(sh.order[:i], sh.order[i+1:]...)
+				break
+			}
+		}
+		s.n.Add(-1)
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (s *shardedHashMap[K, V]) containsKey(k K) bool {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	_, ok := sh.m[k]
+	sh.mu.Unlock()
+	return ok
+}
+
+func (s *shardedHashMap[K, V]) containsValue(v V) bool {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, x := range sh.m {
+			if x == v {
+				sh.mu.Unlock()
+				return true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return false
+}
+
+func (s *shardedHashMap[K, V]) clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		s.n.Add(-int64(len(sh.m)))
+		sh.m = make(map[K]V)
+		sh.order = sh.order[:0]
+		sh.mu.Unlock()
+	}
+}
+
+// each visits shard 0..N-1 in per-shard insertion order. Each shard is
+// snapshotted under its lock and visited outside it, so f may touch the map
+// (and concurrent mutators are never blocked on user code); the traversal
+// sees a fuzzy-but-valid state, like iterating any concurrent map.
+func (s *shardedHashMap[K, V]) each(f func(K, V) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		keys := append([]K(nil), sh.order...)
+		vals := make([]V, len(keys))
+		for j, k := range keys {
+			vals[j] = sh.m[k]
+		}
+		sh.mu.Unlock()
+		for j, k := range keys {
+			if !f(k, vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+func (s *shardedHashMap[K, V]) foot(m heap.SizeModel) heap.Footprint {
+	// Each shard is a chained hash table (same per-entry layout as
+	// hashMap), plus a top object holding the shard array and size.
+	entry := m.ObjectFields(3, 1) // key + value + next + cached hash
+	top := m.ObjectFields(1, 1) + m.PtrArray(shardedMapShards)
+	f := heap.Footprint{Live: top, Used: top}
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n, tableCap := len(sh.m), sh.tableCap
+		sh.mu.Unlock()
+		obj := m.ObjectFields(1, 3)
+		f.Live += obj + m.PtrArray(int64(tableCap)) + int64(n)*entry
+		f.Used += obj + m.PtrArray(int64(n)) + int64(n)*entry
+		total += n
+	}
+	if total > 0 {
+		f.Core = m.AlignUp(m.ArrayHeader + 2*int64(total)*m.Pointer)
+	}
+	return f
+}
+
+// cowListSnap is one immutable published state of a cowArrayList. Readers
+// operate entirely on a loaded snapshot; writers never mutate a published
+// one.
+type cowListSnap[T comparable] struct {
+	data []T
+	capV int
+}
+
+// cowArrayList is a concurrent copy-on-write array list: reads are a single
+// atomic pointer load (no locks, no cache-line writes), mutations copy the
+// backing array under a mutex and publish the copy. The right backing for
+// read-mostly contexts shared across goroutines; the write-fraction guard in
+// the builtin rule keeps it away from write-heavy ones, where the O(n)
+// copies would dominate.
+type cowArrayList[T comparable] struct {
+	snap atomic.Pointer[cowListSnap[T]]
+	mu   sync.Mutex
+}
+
+func newCowArrayList[T comparable](capacity int) *cowArrayList[T] {
+	if capacity <= 0 {
+		capacity = defaultListCap
+	}
+	l := &cowArrayList[T]{}
+	l.snap.Store(&cowListSnap[T]{capV: capacity})
+	return l
+}
+
+func (l *cowArrayList[T]) kind() spec.Kind { return spec.KindCowArrayList }
+func (l *cowArrayList[T]) size() int       { return len(l.snap.Load().data) }
+func (l *cowArrayList[T]) capacity() int   { return l.snap.Load().capV }
+
+// mutate copies the current snapshot's data (with room for one more
+// element), applies f to the copy, and publishes it.
+func (l *cowArrayList[T]) mutate(f func(old *cowListSnap[T]) cowListSnap[T]) {
+	l.mu.Lock()
+	next := f(l.snap.Load())
+	l.snap.Store(&next)
+	l.mu.Unlock()
+}
+
+func (l *cowArrayList[T]) get(i int) T {
+	s := l.snap.Load()
+	boundsCheck(i, len(s.data), "get")
+	return s.data[i]
+}
+
+func (l *cowArrayList[T]) set(i int, v T) T {
+	var old T
+	l.mutate(func(s *cowListSnap[T]) cowListSnap[T] {
+		boundsCheck(i, len(s.data), "set")
+		data := append([]T(nil), s.data...)
+		old = data[i]
+		data[i] = v
+		return cowListSnap[T]{data: data, capV: s.capV}
+	})
+	return old
+}
+
+func (l *cowArrayList[T]) add(v T) {
+	l.mutate(func(s *cowListSnap[T]) cowListSnap[T] {
+		capV := s.capV
+		for capV < len(s.data)+1 {
+			capV = growCap(capV)
+		}
+		data := make([]T, len(s.data)+1)
+		copy(data, s.data)
+		data[len(s.data)] = v
+		return cowListSnap[T]{data: data, capV: capV}
+	})
+}
+
+func (l *cowArrayList[T]) addAt(i int, v T) {
+	l.mutate(func(s *cowListSnap[T]) cowListSnap[T] {
+		if i != len(s.data) {
+			boundsCheck(i, len(s.data), "addAt")
+		}
+		capV := s.capV
+		for capV < len(s.data)+1 {
+			capV = growCap(capV)
+		}
+		data := make([]T, 0, len(s.data)+1)
+		data = append(data, s.data[:i]...)
+		data = append(data, v)
+		data = append(data, s.data[i:]...)
+		return cowListSnap[T]{data: data, capV: capV}
+	})
+}
+
+func (l *cowArrayList[T]) removeAt(i int) T {
+	var old T
+	l.mutate(func(s *cowListSnap[T]) cowListSnap[T] {
+		boundsCheck(i, len(s.data), "removeAt")
+		old = s.data[i]
+		data := make([]T, 0, len(s.data)-1)
+		data = append(data, s.data[:i]...)
+		data = append(data, s.data[i+1:]...)
+		return cowListSnap[T]{data: data, capV: s.capV}
+	})
+	return old
+}
+
+func (l *cowArrayList[T]) remove(v T) bool {
+	removed := false
+	l.mutate(func(s *cowListSnap[T]) cowListSnap[T] {
+		for i, x := range s.data {
+			if x == v {
+				removed = true
+				data := make([]T, 0, len(s.data)-1)
+				data = append(data, s.data[:i]...)
+				data = append(data, s.data[i+1:]...)
+				return cowListSnap[T]{data: data, capV: s.capV}
+			}
+		}
+		return *s
+	})
+	return removed
+}
+
+func (l *cowArrayList[T]) indexOf(v T) int {
+	for i, x := range l.snap.Load().data {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func (l *cowArrayList[T]) clear() {
+	l.mutate(func(s *cowListSnap[T]) cowListSnap[T] {
+		return cowListSnap[T]{capV: s.capV}
+	})
+}
+
+// each traverses one immutable snapshot: mutations that land during the
+// traversal are simply not seen, which is exactly the COW iteration
+// contract (and what the mutate-while-iterate tests assert).
+func (l *cowArrayList[T]) each(f func(T) bool) {
+	for _, v := range l.snap.Load().data {
+		if !f(v) {
+			return
+		}
+	}
+}
+
+func (l *cowArrayList[T]) foot(m heap.SizeModel) heap.Footprint {
+	s := l.snap.Load()
+	obj := m.ObjectFields(1, 2) // snapshot ref + size + lock word
+	f := heap.Footprint{
+		Live: obj + m.PtrArray(int64(s.capV)),
+		Used: obj + m.PtrArray(int64(len(s.data))),
+	}
+	if n := len(s.data); n > 0 {
+		f.Core = m.PtrArray(int64(n))
+	}
+	return f
+}
+
+// cowSetSnap is one immutable published state of a cowHashSet: the member
+// map plus the insertion-order index that keeps iteration deterministic.
+type cowSetSnap[T comparable] struct {
+	m        map[T]struct{}
+	order    []T
+	tableCap int
+}
+
+// cowHashSet is a concurrent copy-on-write hash set: membership tests are an
+// atomic snapshot load plus one map lookup, mutations rebuild the map under
+// a mutex. Read-mostly territory, like cowArrayList.
+type cowHashSet[T comparable] struct {
+	snap atomic.Pointer[cowSetSnap[T]]
+	mu   sync.Mutex
+}
+
+func newCowHashSet[T comparable](capacity int) *cowHashSet[T] {
+	s := &cowHashSet[T]{}
+	s.snap.Store(&cowSetSnap[T]{m: map[T]struct{}{}, tableCap: tableCapFor(capacity)})
+	return s
+}
+
+func (s *cowHashSet[T]) kind() spec.Kind { return spec.KindCowHashSet }
+func (s *cowHashSet[T]) size() int       { return len(s.snap.Load().m) }
+func (s *cowHashSet[T]) capacity() int   { return s.snap.Load().tableCap }
+
+func (s *cowHashSet[T]) copySnap(old *cowSetSnap[T], extra int) cowSetSnap[T] {
+	m := make(map[T]struct{}, len(old.m)+extra)
+	for k := range old.m {
+		m[k] = struct{}{}
+	}
+	return cowSetSnap[T]{
+		m:        m,
+		order:    append([]T(nil), old.order...),
+		tableCap: old.tableCap,
+	}
+}
+
+func (s *cowHashSet[T]) add(v T) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.snap.Load()
+	if _, ok := old.m[v]; ok {
+		return false
+	}
+	next := s.copySnap(old, 1)
+	next.m[v] = struct{}{}
+	next.order = append(next.order, v)
+	for len(next.m)*loadDen > next.tableCap*loadNum {
+		next.tableCap <<= 1
+	}
+	s.snap.Store(&next)
+	return true
+}
+
+func (s *cowHashSet[T]) remove(v T) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.snap.Load()
+	if _, ok := old.m[v]; !ok {
+		return false
+	}
+	next := s.copySnap(old, 0)
+	delete(next.m, v)
+	for i, x := range next.order {
+		if x == v {
+			next.order = append(next.order[:i], next.order[i+1:]...)
+			break
+		}
+	}
+	s.snap.Store(&next)
+	return true
+}
+
+func (s *cowHashSet[T]) contains(v T) bool {
+	_, ok := s.snap.Load().m[v]
+	return ok
+}
+
+func (s *cowHashSet[T]) clear() {
+	s.mu.Lock()
+	old := s.snap.Load()
+	s.snap.Store(&cowSetSnap[T]{m: map[T]struct{}{}, tableCap: old.tableCap})
+	s.mu.Unlock()
+}
+
+// each traverses one immutable snapshot in insertion order; concurrent
+// mutations are not observed mid-iteration (the COW contract).
+func (s *cowHashSet[T]) each(f func(T) bool) {
+	snap := s.snap.Load()
+	for _, v := range snap.order {
+		if !f(v) {
+			return
+		}
+	}
+}
+
+func (s *cowHashSet[T]) foot(m heap.SizeModel) heap.Footprint {
+	snap := s.snap.Load()
+	entry := m.ObjectFields(3, 0) // element ref + next + hash
+	f := hashCore(m, len(snap.m), snap.tableCap, entry)
+	setObj := m.ObjectFields(1, 1) // snapshot ref + lock word
+	f.Live += setObj
+	f.Used += setObj
+	return f
+}

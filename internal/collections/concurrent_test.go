@@ -1,0 +1,252 @@
+package collections
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/spec"
+)
+
+// The concurrent-native backings (ShardedHashMap, CowHashSet, CowArrayList)
+// promise two things the sequential ones do not: wrapper operations are safe
+// from many goroutines without external locking, and iteration observes an
+// immutable snapshot even while mutators race. These tests hammer both
+// promises; run them under -race to check the first one for real.
+
+func TestShardedHashMapBasics(t *testing.T) {
+	m := NewShardedHashMap[int, int](Plain())
+	if m.Kind() != spec.KindShardedHashMap {
+		t.Fatalf("kind = %v", m.Kind())
+	}
+	for i := 0; i < 100; i++ {
+		m.Put(i, i*i)
+	}
+	if m.Size() != 100 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := m.Get(i); !ok || v != i*i {
+			t.Fatalf("get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	seen := map[int]bool{}
+	m.Each(func(k, v int) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("iteration visited %d keys", len(seen))
+	}
+	if v, ok := m.Remove(7); !ok || v != 49 {
+		t.Fatalf("remove(7) = %d, %v", v, ok)
+	}
+	if m.ContainsKey(7) {
+		t.Fatal("7 still present after remove")
+	}
+	m.Free()
+}
+
+func TestBTreeMapSortedIteration(t *testing.T) {
+	m := NewBTreeMap[int, int](Plain())
+	if m.Kind() != spec.KindBTreeMap {
+		t.Fatalf("kind = %v", m.Kind())
+	}
+	for _, k := range []int{5, 1, 9, 3, 7, 0, 8, 2, 6, 4} {
+		m.Put(k, k*10)
+	}
+	var keys []int
+	m.Each(func(k, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	for i, k := range keys {
+		if k != i {
+			t.Fatalf("iteration order %v not sorted", keys)
+		}
+	}
+	m.Free()
+}
+
+// A BTreeMap needs an ordered key type; for everything else the constructor
+// honestly falls back to chained hashing and Kind() says so.
+func TestBTreeMapUnorderedKeyFallsBack(t *testing.T) {
+	type opaque struct{ a, b int }
+	m := NewBTreeMap[opaque, int](Plain())
+	if m.Kind() != spec.KindHashMap {
+		t.Fatalf("unordered-key fallback kind = %v, want HashMap", m.Kind())
+	}
+	m.Put(opaque{1, 2}, 3)
+	if v, ok := m.Get(opaque{1, 2}); !ok || v != 3 {
+		t.Fatalf("fallback map broken")
+	}
+	m.Free()
+}
+
+// Copy-on-write iteration must observe the snapshot taken when the
+// traversal started: mutations made mid-iteration (even by the iterating
+// goroutine) never leak into the ongoing traversal.
+func TestCowArrayListSnapshotIteration(t *testing.T) {
+	l := NewCowArrayList[int](Plain())
+	for i := 1; i <= 5; i++ {
+		l.Add(i)
+	}
+	var visited []int
+	l.Each(func(v int) bool {
+		if v == 1 {
+			l.Add(99)
+			l.RemoveAt(0)
+			l.Set(1, 100)
+		}
+		visited = append(visited, v)
+		return true
+	})
+	want := []int{1, 2, 3, 4, 5}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+	// The mutations themselves did land.
+	if l.Size() != 5 || !l.Contains(99) || l.Contains(1) {
+		t.Fatalf("post-iteration state wrong: %v", l.ToSlice())
+	}
+	l.Free()
+}
+
+func TestCowHashSetSnapshotIteration(t *testing.T) {
+	s := NewCowHashSet[int](Plain())
+	for i := 1; i <= 5; i++ {
+		s.Add(i)
+	}
+	visited := map[int]bool{}
+	s.Each(func(v int) bool {
+		if len(visited) == 0 {
+			s.Add(99)
+			s.Remove(5)
+		}
+		visited[v] = true
+		return true
+	})
+	if len(visited) != 5 || visited[99] || !visited[5] {
+		t.Fatalf("iteration saw %v, want the pre-mutation snapshot 1..5", visited)
+	}
+	if s.Contains(5) || !s.Contains(99) {
+		t.Fatal("post-iteration mutations lost")
+	}
+	s.Free()
+}
+
+// Race hammer: many goroutines through the wrapper of every concurrent
+// backing at once, on a fully profiled runtime so the shared (atomic)
+// instrumentation path is the one being exercised. The assertions are
+// deliberately weak (no crash, sane final state); the real check is -race.
+func TestConcurrentBackingsRaceHammer(t *testing.T) {
+	rt, _, _ := profiledRuntime(t)
+	m := NewShardedHashMap[int, int](rt, At("hammer.map:1"))
+	s := NewCowHashSet[int](rt, At("hammer.set:1"))
+	l := NewCowArrayList[int](rt, At("hammer.list:1"))
+	for i := 0; i < 16; i++ {
+		l.Add(i)
+	}
+
+	const workers, opsPer = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := (w*opsPer + i) % 64
+				switch i % 5 {
+				case 0:
+					m.Put(k, k)
+					s.Add(k % 32)
+				case 1:
+					m.Get(k)
+					s.Contains(k % 32)
+				case 2:
+					if i%50 == 0 {
+						m.Remove(k)
+						s.Remove(k % 32)
+					}
+				case 3:
+					l.Get(k % 16)
+					l.Each(func(int) bool { return true })
+				case 4:
+					l.Set(k%16, k)
+					m.ContainsKey(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if m.Size() < 0 || m.Size() > 64 {
+		t.Fatalf("map size out of range: %d", m.Size())
+	}
+	if s.Size() < 0 || s.Size() > 32 {
+		t.Fatalf("set size out of range: %d", s.Size())
+	}
+	if l.Size() != 16 {
+		t.Fatalf("list size = %d, want 16 (sets only)", l.Size())
+	}
+	m.Free()
+	s.Free()
+	l.Free()
+}
+
+// Property: ArrayList and CowArrayList agree on every observable result.
+func TestQuickListImplsAgree(t *testing.T) {
+	f := func(ops []opCode) bool {
+		a := NewArrayList[int8](Plain())
+		b := NewArrayList[int8](Plain(), Impl(spec.KindCowArrayList))
+		for _, o := range ops {
+			switch o.Op % 5 {
+			case 0:
+				a.Add(o.Val)
+				b.Add(o.Val)
+			case 1:
+				if a.Size() > 0 {
+					idx := int(o.Key)
+					if idx < 0 {
+						idx = -idx
+					}
+					idx %= a.Size()
+					if a.Get(idx) != b.Get(idx) {
+						return false
+					}
+				}
+			case 2:
+				if a.Size() > 0 {
+					idx := int(o.Key)
+					if idx < 0 {
+						idx = -idx
+					}
+					idx %= a.Size()
+					if a.RemoveAt(idx) != b.RemoveAt(idx) {
+						return false
+					}
+				}
+			case 3:
+				if a.IndexOf(o.Val) != b.IndexOf(o.Val) {
+					return false
+				}
+			case 4:
+				if a.Contains(o.Val) != b.Contains(o.Val) {
+					return false
+				}
+			}
+			if a.Size() != b.Size() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("ArrayList vs CowArrayList: %v", err)
+	}
+}

@@ -25,6 +25,8 @@ func TestQuickMapImplsAgree(t *testing.T) {
 		{spec.KindHashMap, spec.KindLazyMap},
 		{spec.KindHashMap, spec.KindSingletonMap},
 		{spec.KindHashMap, spec.KindLinkedHashMap},
+		{spec.KindHashMap, spec.KindShardedHashMap},
+		{spec.KindHashMap, spec.KindBTreeMap},
 	}
 	for _, pair := range pairs {
 		pair := pair
@@ -77,7 +79,7 @@ func TestQuickMapImplsAgree(t *testing.T) {
 func TestQuickSetImplsAgree(t *testing.T) {
 	others := []spec.Kind{
 		spec.KindArraySet, spec.KindOpenHashSet, spec.KindLazySet,
-		spec.KindLinkedHashSet, spec.KindSizeAdaptingSet,
+		spec.KindLinkedHashSet, spec.KindSizeAdaptingSet, spec.KindCowHashSet,
 	}
 	for _, other := range others {
 		other := other
@@ -129,18 +131,22 @@ func TestQuickFootprintInvariants(t *testing.T) {
 			NewSinglyLinkedList[int8](Plain()),
 			NewLazyArrayList[int8](Plain()),
 			NewSingletonList[int8](Plain()),
+			NewCowArrayList[int8](Plain()),
 		}
 		sets := []*Set[int8]{
 			NewHashSet[int8](Plain()),
 			NewArraySet[int8](Plain()),
 			NewOpenHashSet[int8](Plain()),
 			NewSizeAdaptingSet[int8](Plain()),
+			NewCowHashSet[int8](Plain()),
 		}
 		maps := []*Map[int8, int8]{
 			NewHashMap[int8, int8](Plain()),
 			NewArrayMap[int8, int8](Plain()),
 			NewOpenHashMap[int8, int8](Plain()),
 			NewSizeAdaptingMap[int8, int8](Plain()),
+			NewShardedHashMap[int8, int8](Plain()),
+			NewBTreeMap[int8, int8](Plain()),
 		}
 		for _, o := range ops {
 			for _, l := range lists {

@@ -1,0 +1,30 @@
+// Package gid derives a cheap, approximate goroutine-identity hash.
+//
+// The profiler's owner-stability statistic needs to ask "is this operation
+// coming from the same goroutine as the last one?" on paths that run tens of
+// millions of times per second. runtime.Goid is not exported and
+// runtime.Stack is far too slow, so we use the classic trick: the address of
+// a stack-allocated byte identifies the executing goroutine's stack.
+// Dropping the low bits maps every address inside one stack block to the
+// same value, making the hash stable across call depths of a few KB.
+//
+// The hash is approximate in two benign ways: a goroutine whose stack grows
+// past a block boundary (or is moved by the runtime) changes hash, and two
+// goroutines could in principle recycle the same stack allocation. Both show
+// up as noise in the cross-goroutine access fraction; the selection rules
+// threshold well above that noise floor (G in rules.DefaultParams).
+package gid
+
+import "unsafe"
+
+// stackBlockShift drops the low 11 bits (2 KiB — the runtime's initial
+// goroutine stack size), so addresses within one small stack collapse to one
+// identity.
+const stackBlockShift = 11
+
+// Hash returns the identity hash of the calling goroutine. It never
+// allocates and costs a handful of instructions.
+func Hash() uint64 {
+	var probe byte
+	return uint64(uintptr(unsafe.Pointer(&probe)) >> stackBlockShift)
+}

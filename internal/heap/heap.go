@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chameleon/internal/gid"
 	"chameleon/internal/governor"
 )
 
@@ -185,7 +186,6 @@ type Heap struct {
 	peakLive    atomic.Int64 // high-water mark of dataLive+collLive
 	sinceGC     atomic.Int64 // bytes allocated since the last claimed cycle
 	cycleClaims atomic.Int64 // threshold crossings claimed by maybeGC
-	nextShard   atomic.Uint64
 
 	// shards hold the live collection registry.
 	shards [numShards]shard
@@ -284,6 +284,13 @@ type TicketEpoch struct {
 	OpsPend   uint8 // operations recorded since the last flush
 	SizeClass int8  // size class of the last footprint push
 	Dirty     bool  // the footprint may have moved since the last push
+	// Shared marks a wrapper backed by a concurrent-native implementation
+	// (spec.Kind.Concurrent). Set once at install time, read-only after:
+	// it routes the wrapper's instrumentation onto the atomic shared path,
+	// because the owner-local fields above assume a single owner. It packs
+	// into what was the struct's final padding byte, keeping the epoch
+	// state — and the wrapper header — exactly 8 bytes.
+	Shared bool
 }
 
 // kindInterns interns kind-name strings so tickets can publish kind changes
@@ -344,7 +351,13 @@ func (h *Heap) RegisterInto(c Collection, t *Ticket) {
 	t.used.Store(f.Used)
 	t.core.Store(f.Core)
 	t.kind.Store(internKind(c.KindName()))
-	sh := &h.shards[h.nextShard.Add(1)&(numShards-1)]
+	// Shard by allocating goroutine, not a global round-robin counter: a
+	// shared atomic here is one cache line every allocating goroutine in
+	// the process bounces through. Goroutine affinity spreads load just as
+	// well (allocation volume per goroutine is what matters) and keeps the
+	// hot allocation path free of cross-core traffic. GC statistics are
+	// commutative sums over shards, so placement never affects results.
+	sh := &h.shards[gid.Hash()&(numShards-1)]
 	t.sh = sh
 	sh.mu.Lock()
 	t.slot = int32(len(sh.regions[0]))

@@ -1,0 +1,59 @@
+package profiler
+
+import (
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/spec"
+)
+
+// Owner sampling counts a move whenever consecutive samples came from
+// different goroutine hashes; the first sample establishes ownership
+// without counting as a move, and zero hashes are remapped so 0 keeps
+// meaning "never sampled".
+func TestSampleOwnerMoveCounting(t *testing.T) {
+	tab := alloctx.NewTable()
+	p := New()
+	ctx := testCtx(t, tab, "owner:1")
+
+	in := p.OnAlloc(ctx, spec.KindHashMap, spec.KindHashMap, 16)
+	in.SampleOwner(11) // first sample: ownership established, no move
+	in.SampleOwner(11) // same owner: no move
+	in.SampleOwner(22) // move
+	in.SampleOwner(22)
+	in.SampleOwner(11) // move back
+	in.SampleOwner(0)  // remapped to 1: counts as a third move
+	p.OnDeath(in)
+
+	pr := p.Snapshot()[0]
+	if pr.OwnerSamples != 6 || pr.OwnerMoves != 3 {
+		t.Fatalf("samples=%d moves=%d, want 6 and 3", pr.OwnerSamples, pr.OwnerMoves)
+	}
+	if v, ok := pr.Metric("crossGoroutineFraction"); !ok || v != 0.5 {
+		t.Fatalf("crossGoroutineFraction = %v, %v", v, ok)
+	}
+	if v, ok := pr.Metric("ownerStability"); !ok || v != 0.5 {
+		t.Fatalf("ownerStability = %v, %v", v, ok)
+	}
+}
+
+// A context that was never owner-sampled reads as perfectly stable: the
+// fraction is 0 and stability 1, so the concurrent rules cannot fire on
+// structures the profiler knows nothing about.
+func TestOwnerMetricsWithoutSamples(t *testing.T) {
+	tab := alloctx.NewTable()
+	p := New()
+	ctx := testCtx(t, tab, "owner:2")
+
+	in := p.OnAlloc(ctx, spec.KindHashMap, spec.KindHashMap, 16)
+	in.Record(spec.Put)
+	p.OnDeath(in)
+
+	pr := p.Snapshot()[0]
+	if v, ok := pr.Metric("crossGoroutineFraction"); !ok || v != 0 {
+		t.Fatalf("crossGoroutineFraction = %v, %v, want 0", v, ok)
+	}
+	if v, ok := pr.Metric("ownerStability"); !ok || v != 1 {
+		t.Fatalf("ownerStability = %v, %v, want 1", v, ok)
+	}
+}

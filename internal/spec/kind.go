@@ -47,6 +47,10 @@ const (
 	KindSingletonList
 	// KindIntArray is an unboxed array of ints (List[int] only).
 	KindIntArray
+	// KindCowArrayList is a concurrent copy-on-write array list: reads take
+	// a lock-free immutable snapshot, writes copy under a mutex — for
+	// read-mostly contexts shared across goroutines.
+	KindCowArrayList
 
 	// Set implementations.
 
@@ -61,6 +65,10 @@ const (
 	// KindSizeAdaptingSet starts as an array and switches to a hash set
 	// when the size crosses a threshold (the §2.3 hybrid).
 	KindSizeAdaptingSet
+	// KindCowHashSet is a concurrent copy-on-write hash set: reads take a
+	// lock-free snapshot, writes copy under a mutex — for read-mostly
+	// contexts shared across goroutines.
+	KindCowHashSet
 
 	// KindOpenHashSet is an open-addressing set (no entry objects),
 	// like the Trove implementations the paper discusses swapping in —
@@ -87,6 +95,14 @@ const (
 	// KindSizeAdaptingMap starts as an array map and switches to a hash
 	// map when the size crosses a threshold (the §2.3 hybrid).
 	KindSizeAdaptingMap
+	// KindShardedHashMap is a concurrent N-way sharded hash map: each key
+	// hashes to one of a fixed number of independently locked shards, so
+	// cross-goroutine traffic contends per shard rather than per map.
+	KindShardedHashMap
+	// KindBTreeMap is a sorted map (B-tree layout) for ordered scans;
+	// sequential like HashMap, but iteration visits keys in sorted order
+	// and the node layout amortizes pointer overhead across entries.
+	KindBTreeMap
 
 	numKinds
 )
@@ -105,12 +121,14 @@ var kindNames = [numKinds]string{
 	KindLazyArrayList:    "LazyArrayList",
 	KindSingletonList:    "SingletonList",
 	KindIntArray:         "IntArray",
+	KindCowArrayList:     "CowArrayList",
 	KindHashSet:          "HashSet",
 	KindOpenHashSet:      "OpenHashSet",
 	KindArraySet:         "ArraySet",
 	KindLazySet:          "LazySet",
 	KindLinkedHashSet:    "LinkedHashSet",
 	KindSizeAdaptingSet:  "SizeAdaptingSet",
+	KindCowHashSet:       "CowHashSet",
 	KindHashMap:          "HashMap",
 	KindOpenHashMap:      "OpenHashMap",
 	KindArrayMap:         "ArrayMap",
@@ -118,6 +136,8 @@ var kindNames = [numKinds]string{
 	KindSingletonMap:     "SingletonMap",
 	KindLinkedHashMap:    "LinkedHashMap",
 	KindSizeAdaptingMap:  "SizeAdaptingMap",
+	KindShardedHashMap:   "ShardedHashMap",
+	KindBTreeMap:         "BTreeMap",
 }
 
 var kindsByName = func() map[string]Kind {
@@ -148,12 +168,13 @@ func KindByName(name string) (Kind, bool) {
 func (k Kind) Abstract() Kind {
 	switch k {
 	case KindArrayList, KindLinkedList, KindSinglyLinkedList, KindEmptyList,
-		KindLazyArrayList, KindSingletonList, KindIntArray:
+		KindLazyArrayList, KindSingletonList, KindIntArray, KindCowArrayList:
 		return KindList
-	case KindHashSet, KindOpenHashSet, KindArraySet, KindLazySet, KindLinkedHashSet, KindSizeAdaptingSet:
+	case KindHashSet, KindOpenHashSet, KindArraySet, KindLazySet, KindLinkedHashSet,
+		KindSizeAdaptingSet, KindCowHashSet:
 		return KindSet
 	case KindHashMap, KindOpenHashMap, KindArrayMap, KindLazyMap, KindSingletonMap,
-		KindLinkedHashMap, KindSizeAdaptingMap:
+		KindLinkedHashMap, KindSizeAdaptingMap, KindShardedHashMap, KindBTreeMap:
 		return KindMap
 	default:
 		return k
@@ -183,6 +204,18 @@ func (k Kind) Matches(src Kind) bool {
 		return k != KindIterator && k != KindNone
 	case KindList, KindSet, KindMap:
 		return k.Abstract() == src
+	}
+	return false
+}
+
+// Concurrent reports whether the kind's backing implementation is safe for
+// unsynchronized use from multiple goroutines. These are the backings the
+// contention rules (crossGoroutineFraction) may select; every other kind
+// requires external synchronization when shared.
+func (k Kind) Concurrent() bool {
+	switch k {
+	case KindShardedHashMap, KindCowArrayList, KindCowHashSet:
+		return true
 	}
 	return false
 }

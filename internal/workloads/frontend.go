@@ -1,0 +1,414 @@
+package workloads
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon/internal/collections"
+	"chameleon/internal/stats"
+)
+
+// Frontend models a latency-sensitive serving tier: worker goroutines handle
+// an open-loop request stream against collections *shared across requests* —
+// a per-generation hot cache map, a feature-tag set, and a config list. This
+// is the workload the concurrent backings exist for. The paper's subjects
+// (and the server workload) allocate collections per unit of work; here the
+// hot structures outlive thousands of requests and every worker hits the
+// same instances, so the cost that matters is contention, not allocation.
+//
+// The workload is honest about how such programs are written: while a shared
+// structure's backing is not concurrency-safe (Kind().Concurrent() is
+// false), every access takes a client-side mutex, exactly as a programmer
+// must. When the backing is concurrent — declared so in the Tuned variant,
+// or swapped in by the online selector for a later generation — the client
+// lock is skipped and the backing's internal synchronization (sharding,
+// copy-on-write) carries the load. The win the selector can deliver is
+// therefore visible in the workload itself: less wall time under one big
+// lock.
+//
+// Determinism under concurrency: every value in the hot structures is a pure
+// function of (generation, key), writes are idempotent re-writes of that
+// function, and the set's membership probes only test generation-seeded
+// members, so what any request reads is independent of schedule. Per-request
+// checksums combine with XOR; RunFrontendWorkers returns the same checksum
+// for every worker count and variant.
+//
+// Generations rotate every genRequests requests: the first request to reach
+// a generation builds its structures (sync.Once), the last one out frees
+// them, so the shared contexts accumulate death evidence while the run is
+// still going — which is what lets the online selector decide them mid-run.
+
+// FrontendSpec describes the frontend workload. Like server it is not part
+// of All() but is available to tests, benchmarks, and the CLI as
+// "frontend".
+var FrontendSpec = Spec{
+	Name:         "frontend",
+	Description:  "latency-SLO serving tier: shared hot map/set/list across worker goroutines, Zipf keys, open-loop arrivals",
+	Run:          RunFrontend,
+	DefaultScale: 200,
+}
+
+const (
+	// frontendRequestsPerScale converts the scale knob into requests.
+	frontendRequestsPerScale = 8
+	// genRequests is the generation length: how many requests share one
+	// set of hot structures before rotation.
+	genRequests = 32
+	// frontendKeys is the cache keyspace; requests draw keys Zipf-skewed
+	// so a handful of keys take most of the traffic.
+	frontendKeys = 128
+	// cfgLen is the config list length. Kept short on purpose: the
+	// generation build writes cfgLen elements, and those writes count
+	// against the copy-on-write rule's read-mostly guard — a long list
+	// would make every generation look write-heavy at birth.
+	cfgLen = 12
+	// tagSeeds is how many generation-seeded members the tag set starts
+	// with; membership probes only ever test these. Like cfgLen, small so
+	// the seeding writes stay under the read-mostly write fraction.
+	tagSeeds = 4
+)
+
+// zipfCDF is the integer cumulative weight table for the key distribution
+// (exponent ~1.1). Float math happens once at init; draws are pure integer.
+var zipfCDF = func() [frontendKeys]uint64 {
+	var cdf [frontendKeys]uint64
+	var total uint64
+	for i := 0; i < frontendKeys; i++ {
+		total += uint64(1e9 / math.Pow(float64(i+1), 1.1))
+		cdf[i] = total
+	}
+	return cdf
+}()
+
+// zipfKey draws a key in [0, frontendKeys) with Zipf-skewed probability.
+func zipfKey(r *xorshift) int {
+	t := r.next() % zipfCDF[frontendKeys-1]
+	lo, hi := 0, frontendKeys-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if zipfCDF[mid] > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func frontendCacheCtx() collections.Option {
+	return collections.At("frontend.Cache.lookup:33;frontend.Tier.handle:120")
+}
+
+func frontendTagsCtx() collections.Option {
+	return collections.At("frontend.Features.check:58;frontend.Tier.handle:120")
+}
+
+func frontendCfgCtx() collections.Option {
+	return collections.At("frontend.Config.snapshot:74;frontend.Tier.handle:120")
+}
+
+func frontendRespCtx() collections.Option {
+	return collections.At("frontend.Render.respond:96;frontend.Tier.handle:120")
+}
+
+// cacheVal is the pure value function behind the hot map: what key k holds
+// in generation g, whoever computes it.
+func cacheVal(g, k int) int {
+	return int(mix(uint64(g)+0x51ED2701, uint64(k)) & 0x7FFFFFFF)
+}
+
+// tagSeedVal names the s-th generation-seeded tag set member.
+func tagSeedVal(g, s int) int {
+	return int(mix(uint64(g)+0xA5A5, uint64(s))&1023) + 64
+}
+
+// tagExtraVal names the racy extra members occasionally added by requests;
+// the range is disjoint from tagSeedVal so membership probes on seeds stay
+// deterministic while adds race.
+func tagExtraVal(g, t int) int {
+	return int(mix(uint64(g)+0xC3C3, uint64(t))&1023) + 2048
+}
+
+// cfgVal is the pure value function behind the config list.
+func cfgVal(g, i int) int {
+	return int(mix(uint64(g)+0x9E37, uint64(i)) & 0x7FFFFFFF)
+}
+
+// frontendGen is one generation's shared hot structures plus the client
+// locks that guard them while their backings are not concurrency-safe.
+type frontendGen struct {
+	once      sync.Once
+	remaining atomic.Int64
+
+	cacheMu sync.Mutex
+	cache   *collections.Map[int, int]
+	// cacheLocked caches !Kind().Concurrent() at build (the backing never
+	// changes after allocation), so the hot path tests a bool, not an
+	// interface call.
+	cacheLocked bool
+
+	tagsMu     sync.Mutex
+	tags       *collections.Set[int]
+	tagsLocked bool
+
+	cfgMu     sync.Mutex
+	cfg       *collections.List[int]
+	cfgLocked bool
+}
+
+func (g *frontendGen) build(rt *collections.Runtime, v Variant, gen int) {
+	if v == Tuned {
+		g.cache = collections.NewShardedHashMap[int, int](rt, frontendCacheCtx(), collections.Cap(frontendKeys))
+		g.tags = collections.NewCowHashSet[int](rt, frontendTagsCtx())
+		g.cfg = collections.NewCowArrayList[int](rt, frontendCfgCtx(), collections.Cap(cfgLen))
+	} else {
+		g.cache = collections.NewHashMap[int, int](rt, frontendCacheCtx())
+		g.tags = collections.NewHashSet[int](rt, frontendTagsCtx())
+		g.cfg = collections.NewArrayList[int](rt, frontendCfgCtx())
+	}
+	g.cacheLocked = !g.cache.Kind().Concurrent()
+	g.tagsLocked = !g.tags.Kind().Concurrent()
+	g.cfgLocked = !g.cfg.Kind().Concurrent()
+	for s := 0; s < tagSeeds; s++ {
+		g.tags.Add(tagSeedVal(gen, s))
+	}
+	for i := 0; i < cfgLen; i++ {
+		g.cfg.Add(cfgVal(gen, i))
+	}
+}
+
+func (g *frontendGen) free() {
+	g.cache.Free()
+	g.tags.Free()
+	g.cfg.Free()
+}
+
+// handleFrontend serves one request against its generation's shared
+// structures; everything it folds into the checksum is a pure function of
+// the request id.
+func handleFrontend(rt *collections.Runtime, g *frontendGen, gen int, id uint64) uint64 {
+	rng := newRand(id*0xD1B54A32D192ED03 + 0x2545F4914F6CDD1D)
+	sum := id + 1
+	h := rt.Heap()
+
+	// The request body: raw non-collection data, drawn unconditionally so
+	// the PRNG sequence is identical with and without a heap.
+	bodySize := int64(256 + rng.intn(768))
+	var body interface{ Free() }
+	if h != nil {
+		body = h.AllocData(bodySize)
+	}
+
+	// Cache phase: Zipf-keyed lookups; a miss computes the value and writes
+	// it back. The write is an idempotent re-write of cacheVal, so racing
+	// fillers are harmless and the folded value never depends on who won.
+	for j := 0; j < 3; j++ {
+		k := zipfKey(rng)
+		want := cacheVal(gen, k)
+		if g.cacheLocked {
+			g.cacheMu.Lock()
+		}
+		got, ok := g.cache.Get(k)
+		if !ok {
+			g.cache.Put(k, want)
+			got = want
+		}
+		if g.cacheLocked {
+			g.cacheMu.Unlock()
+		}
+		sum = mix(sum, uint64(got))
+	}
+
+	// Feature checks: membership probes on generation-seeded members
+	// (always present) plus a rare racy add in a disjoint value range —
+	// read-mostly by construction, which is what qualifies the context for
+	// a copy-on-write backing.
+	for j := 0; j < 3; j++ {
+		s := rng.intn(tagSeeds)
+		if g.tagsLocked {
+			g.tagsMu.Lock()
+		}
+		present := g.tags.Contains(tagSeedVal(gen, s))
+		if g.tagsLocked {
+			g.tagsMu.Unlock()
+		}
+		if present {
+			sum = mix(sum, uint64(s)+1)
+		}
+	}
+	if rng.intn(16) == 0 {
+		t := rng.intn(32)
+		if g.tagsLocked {
+			g.tagsMu.Lock()
+		}
+		g.tags.Add(tagExtraVal(gen, t))
+		if g.tagsLocked {
+			g.tagsMu.Unlock()
+		}
+	}
+
+	// Config reads: indexed gets, an occasional full scan, and a rare
+	// idempotent re-write — the mutate-while-iterate pattern copy-on-write
+	// snapshots make safe without holding a lock across the scan.
+	for j := 0; j < 5; j++ {
+		i := rng.intn(cfgLen)
+		if g.cfgLocked {
+			g.cfgMu.Lock()
+		}
+		val := g.cfg.Get(i)
+		if g.cfgLocked {
+			g.cfgMu.Unlock()
+		}
+		sum = mix(sum, uint64(val))
+	}
+	if rng.intn(16) == 0 {
+		i := rng.intn(cfgLen)
+		if g.cfgLocked {
+			g.cfgMu.Lock()
+		}
+		g.cfg.Set(i, cfgVal(gen, i))
+		if g.cfgLocked {
+			g.cfgMu.Unlock()
+		}
+	}
+	if rng.intn(8) == 0 {
+		if g.cfgLocked {
+			g.cfgMu.Lock()
+		}
+		g.cfg.Each(func(x int) bool {
+			sum = mix(sum, uint64(x))
+			return true
+		})
+		if g.cfgLocked {
+			g.cfgMu.Unlock()
+		}
+	}
+
+	// Render: a private, short-lived response list — the per-request
+	// allocation churn that keeps death evidence flowing for the
+	// sequential contexts too.
+	nResp := 4 + rng.intn(4)
+	resp := collections.NewArrayList[int](rt, frontendRespCtx(), collections.Cap(nResp))
+	for j := 0; j < nResp; j++ {
+		resp.Add(rng.intn(1 << 16))
+	}
+	resp.Each(func(x int) bool {
+		sum = mix(sum, uint64(x))
+		return true
+	})
+	resp.Free()
+
+	if body != nil {
+		body.Free()
+	}
+	return sum
+}
+
+// FrontendResult carries the latency-SLO measurements alongside the
+// schedule-independent checksum.
+type FrontendResult struct {
+	Checksum uint64
+	Requests int
+	Elapsed  time.Duration
+	// Latencies is the merged request-latency histogram in microseconds.
+	// With open-loop pacing a latency spans queueing delay plus service
+	// time (completion minus scheduled arrival); without pacing it is pure
+	// service time.
+	Latencies      *stats.Histogram
+	P50, P99, P999 time.Duration
+	// Throughput is completed requests per second of wall time.
+	Throughput float64
+}
+
+// RunFrontend drives the frontend on a single goroutine (the RunFunc shape
+// used by the experiment runners).
+func RunFrontend(rt *collections.Runtime, v Variant, scale int) uint64 {
+	return RunFrontendWorkers(rt, v, scale, 1)
+}
+
+// RunFrontendWorkers handles scale*frontendRequestsPerScale requests across
+// the given number of workers with no arrival pacing, returning the
+// schedule-independent checksum.
+func RunFrontendWorkers(rt *collections.Runtime, v Variant, scale, workers int) uint64 {
+	return FrontendRun(rt, v, scale, workers, 0).Checksum
+}
+
+// FrontendRun is the full frontend driver: scale*frontendRequestsPerScale
+// requests across workers goroutines, arriving open-loop every interArrival
+// (0 disables pacing and measures pure service time). Requests are pulled
+// from a shared atomic counter; a request that falls behind its scheduled
+// arrival is not skipped — its queueing delay lands in the latency
+// histogram, as an SLO measurement must.
+func FrontendRun(rt *collections.Runtime, v Variant, scale, workers int, interArrival time.Duration) FrontendResult {
+	total := scale * frontendRequestsPerScale
+	if workers < 1 {
+		workers = 1
+	}
+	nGens := (total + genRequests - 1) / genRequests
+	gens := make([]frontendGen, nGens)
+	for g := range gens {
+		n := genRequests
+		if last := total - g*genRequests; last < n {
+			n = last
+		}
+		gens[g].remaining.Store(int64(n))
+	}
+
+	var next atomic.Int64
+	sums := make([]uint64, workers)
+	hists := make([]*stats.Histogram, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hist := stats.NewHistogram()
+			var local uint64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					break
+				}
+				arrival := start.Add(time.Duration(i) * interArrival)
+				if interArrival > 0 {
+					if d := time.Until(arrival); d > 0 {
+						time.Sleep(d)
+					}
+				} else {
+					arrival = time.Now()
+				}
+				gi := i / genRequests
+				g := &gens[gi]
+				g.once.Do(func() { g.build(rt, v, gi) })
+				local ^= handleFrontend(rt, g, gi, uint64(i))
+				hist.Add(time.Since(arrival).Microseconds())
+				if g.remaining.Add(-1) == 0 {
+					g.free()
+				}
+			}
+			sums[w], hists[w] = local, hist
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := FrontendResult{
+		Requests:  total,
+		Elapsed:   elapsed,
+		Latencies: stats.NewHistogram(),
+	}
+	for w := 0; w < workers; w++ {
+		res.Checksum ^= sums[w]
+		res.Latencies.Merge(hists[w])
+	}
+	res.P50 = time.Duration(res.Latencies.Quantile(0.50)) * time.Microsecond
+	res.P99 = time.Duration(res.Latencies.Quantile(0.99)) * time.Microsecond
+	res.P999 = time.Duration(res.Latencies.Quantile(0.999)) * time.Microsecond
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Throughput = float64(total) / sec
+	}
+	return res
+}

@@ -155,6 +155,9 @@ func ByName(name string) (Spec, error) {
 	if name == ContextStormSpec.Name {
 		return ContextStormSpec, nil
 	}
+	if name == FrontendSpec.Name {
+		return FrontendSpec, nil
+	}
 	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
