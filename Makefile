@@ -16,7 +16,7 @@ race:
 # smoke run (what CI does); the default takes a few minutes.
 BENCHTIME ?= 0.3s
 COUNT ?= 3
-TRAJECTORY ?= BENCH_pr7.json
+TRAJECTORY ?= BENCH_pr9.json
 
 bench-trajectory:
 	$(GO) run ./cmd/bench-trajectory -benchtime $(BENCHTIME) -count $(COUNT) -out $(TRAJECTORY)

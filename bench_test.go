@@ -574,6 +574,56 @@ func BenchmarkFrontendLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontendTiers crosses the governor's degradation ladder with
+// the latency-SLO frontend workload: what does each profiling tier cost
+// in tail latency on a request-serving process? Where
+// BenchmarkGovernorTiers prices the tiers in throughput on contextstorm,
+// this one prices them in p50/p99/p999 — the number a fleet operator
+// weighs before leaving full-fidelity profiling on in production versus
+// relying on fleet snapshots merged from sampled peers (docs/FLEET.md).
+func BenchmarkFrontendTiers(b *testing.B) {
+	const scale = 120
+	const workers = 4
+	tiers := []struct {
+		name string
+		tier governor.Tier
+		rate int
+	}{
+		{"full", governor.TierFull, 1},
+		{"sampled-8", governor.TierSampled, 8},
+		{"heap-only", governor.TierHeapOnly, 1},
+		{"off", governor.TierOff, 1},
+	}
+	for _, tc := range tiers {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last workloads.FrontendResult
+			var requests int
+			for i := 0; i < b.N; i++ {
+				s := core.NewSession(core.Config{
+					Mode:           alloctx.Static,
+					GCThreshold:    64 << 10,
+					DropSnapshots:  true,
+					OverheadBudget: 0.05, // wires the meter; ticking stays manual
+				})
+				s.Runtime().SetProfilingTier(tc.tier, tc.rate)
+				last = workloads.FrontendRun(s.Runtime(), workloads.Baseline, scale, workers, 0)
+				if last.Checksum == 0 {
+					b.Fatal("zero checksum")
+				}
+				s.FinalGC()
+				requests += last.Requests
+			}
+			b.ReportMetric(float64(last.P50.Microseconds()), "p50-us")
+			b.ReportMetric(float64(last.P99.Microseconds()), "p99-us")
+			b.ReportMetric(float64(last.P999.Microseconds()), "p999-us")
+			b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(uint32(last.Checksum>>32)^uint32(last.Checksum)), "checksum32")
+		})
+	}
+}
+
 // BenchmarkRuleEvaluation measures the rule engine itself over a profiled
 // snapshot (the per-report cost of the Table 2 rule set).
 func BenchmarkRuleEvaluation(b *testing.B) {

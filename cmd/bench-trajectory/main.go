@@ -35,7 +35,7 @@ import (
 )
 
 // headline is the benchmark set the trajectory tracks, as one -bench regex.
-const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer|BenchmarkGovernorTiers|BenchmarkFrontendLatency"
+const headline = "BenchmarkPerInstanceTracking|BenchmarkMapGet|BenchmarkListAppend|BenchmarkAutoOverhead|BenchmarkConcurrentServer|BenchmarkGovernorTiers|BenchmarkFrontendLatency|BenchmarkFrontendTiers"
 
 // resultLine matches one `go test -bench` result up to the iteration
 // count, e.g. "BenchmarkMapGet/HashMap/n=4-8   49134991   6.733 ns/op";

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chameleon/internal/alloctx"
+	"chameleon/internal/fleet"
+	"chameleon/internal/profiler"
+	"chameleon/internal/spec"
+)
+
+// writeSnapshot builds a real profiler snapshot with n contexts and lands
+// it at path.
+func writeSnapshot(t *testing.T, path string, seed, n int) {
+	t.Helper()
+	tab := alloctx.NewTable()
+	p := profiler.New()
+	for i := 0; i < n; i++ {
+		ctx := tab.Static(fmt.Sprintf("merge.Site%d:1;merge.Main:4", i))
+		for k := 0; k < 4+seed; k++ {
+			in := p.OnAlloc(ctx, spec.KindArrayList, spec.KindArrayList, 0)
+			for j := 0; j <= i+k+seed; j++ {
+				in.Record(spec.Add)
+				in.NoteSize(j + 1)
+			}
+			p.OnDeath(in)
+		}
+	}
+	if err := profiler.WriteProfilesFile(path, p.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestMergeModeWritesFleetSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeSnapshot(t, a, 0, 3)
+	writeSnapshot(t, b, 2, 5)
+	out := filepath.Join(dir, "fleet.json")
+
+	code, stdout, stderr := runCLI(t, "-o", out, a, b)
+	if code != exitOK {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "merged: 5 context(s) from 2 source(s)") {
+		t.Fatalf("summary missing:\n%s", stdout)
+	}
+	profiles, recErrs, err := profiler.ReadProfilesFileReport(out)
+	if err != nil || len(recErrs) > 0 {
+		t.Fatalf("fleet snapshot unreadable: %v %v", err, recErrs)
+	}
+	if len(profiles) != 5 {
+		t.Fatalf("fleet snapshot has %d contexts, want 5", len(profiles))
+	}
+}
+
+func TestMergeModeDegradesAndAccounts(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeSnapshot(t, good, 1, 4)
+	// A torn copy of a DIFFERENT shard and an outright dead file.
+	tornSrc := filepath.Join(dir, "tornsrc.json")
+	writeSnapshot(t, tornSrc, 3, 4)
+	raw, err := os.ReadFile(tornSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dead := filepath.Join(dir, "dead.json")
+	if err := os.WriteFile(dead, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, "-json", good, torn, dead)
+	if code != exitOK {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr)
+	}
+	var payload struct {
+		Report fleet.MergeReport `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if payload.Report.FailedSources != 1 || payload.Report.DroppedRecords == 0 {
+		t.Fatalf("accounting wrong: %+v", payload.Report)
+	}
+	if !strings.Contains(stderr, "source degraded") {
+		t.Fatalf("dead source not reported on stderr:\n%s", stderr)
+	}
+}
+
+func TestMergeModeAllDead(t *testing.T) {
+	dir := t.TempDir()
+	dead := filepath.Join(dir, "dead.json")
+	if err := os.WriteFile(dead, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := runCLI(t, dead, filepath.Join(dir, "missing.json"))
+	if code != exitFailure {
+		t.Fatalf("exit %d, want %d", code, exitFailure)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != exitUsage {
+		t.Fatalf("no args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-watch", t.TempDir(), "extra.json"); code != exitUsage {
+		t.Fatalf("watch with args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-bogus"); code != exitUsage {
+		t.Fatalf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+}
+
+// TestWatchSoakAssertRecovery is the CLI face of the acceptance scenario:
+// a watch directory with healthy, torn, flaky and outage sources, faults
+// armed by -inject, run for a fixed number of rounds. -assert-recovery
+// requires that a quarantine actually happened, healed, and that nothing
+// ended wedged — and the final ledger lands on disk for the CI artifact.
+func TestWatchSoakAssertRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, filepath.Join(dir, "src-good.json"), 0, 4)
+	writeSnapshot(t, filepath.Join(dir, "src-torn.json"), 1, 4)
+	writeSnapshot(t, filepath.Join(dir, "src-flaky.json"), 2, 6)
+	writeSnapshot(t, filepath.Join(dir, "src-outage.json"), 3, 4)
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.json")
+
+	code, stdout, stderr := runCLI(t,
+		"-watch", dir, "-rounds", "12", "-interval", "1ms",
+		"-inject", "-assert-recovery", "-ledger-out", ledgerPath)
+	if code != exitOK {
+		t.Fatalf("soak exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "recovery asserted") {
+		t.Fatalf("assertion summary missing:\n%s", stderr)
+	}
+
+	raw, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledger fleet.Ledger
+	if err := json.Unmarshal(raw, &ledger); err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger.Sources) != 4 {
+		t.Fatalf("ledger has %d sources, want 4", len(ledger.Sources))
+	}
+	byName := map[string]fleet.SourceHealth{}
+	for _, s := range ledger.Sources {
+		byName[s.Name] = s
+	}
+	if s := byName["src-outage.json"]; s.Quarantines == 0 || s.State != "healthy" {
+		t.Fatalf("outage source did not quarantine and recover: %+v", s)
+	}
+	if s := byName["src-torn.json"]; s.RecordsDropped == 0 {
+		t.Fatalf("torn source dropped nothing: %+v", s)
+	}
+	if s := byName["src-good.json"]; s.State != "healthy" || s.RecordsKept == 0 {
+		t.Fatalf("good source harmed by its peers: %+v", s)
+	}
+}
+
+// TestWatchAssertFailsWithoutFaults: with no faults armed nothing is ever
+// quarantined, so -assert-recovery must fail loudly rather than pass
+// vacuously.
+func TestWatchAssertFailsWithoutFaults(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, filepath.Join(dir, "src-good.json"), 0, 3)
+	code, _, stderr := runCLI(t,
+		"-watch", dir, "-rounds", "3", "-interval", "1ms", "-redeliver", "-assert-recovery")
+	if code != exitAssert {
+		t.Fatalf("exit %d, want %d\nstderr:\n%s", code, exitAssert, stderr)
+	}
+}
+
+func TestWatchBadDir(t *testing.T) {
+	if code, _, _ := runCLI(t, "-watch", filepath.Join(t.TempDir(), "nope")); code != exitFailure {
+		t.Fatalf("exit %d, want %d", code, exitFailure)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"chameleon/internal/alloctx"
 	"chameleon/internal/core"
 	"chameleon/internal/experiments"
+	"chameleon/internal/fleet"
 	"chameleon/internal/heap"
 	"chameleon/internal/profiler"
 	"chameleon/internal/rules"
@@ -53,6 +54,7 @@ func main() {
 		overheadPct = flag.Float64("overhead-budget", 0, "overhead governor target as a fraction of wall time, e.g. 0.05 (0 = governor off)")
 		govInterval = flag.Duration("governor-interval", 25*time.Millisecond, "overhead governor tick interval")
 		healthOut   = flag.String("health-out", "", "write the end-of-run health snapshot as JSON to this file")
+		fleetIn     = flag.String("fleet", "", "hot-publish decisions from this fleet snapshot (chameleon-merge output) into the online selector before the run")
 	)
 	flag.Parse()
 
@@ -153,6 +155,28 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "chameleon: running %s (%s, scale %d, %s contexts, online=%v, workers=%d)\n",
 		spec.Name, v, *scale, ctxMode, *online, *workers)
+	if *fleetIn != "" {
+		// Fleet decisions enter through the guarded selector, not around
+		// it: each is staged Active with verification scheduled, so this
+		// process's own evidence window can roll a bad fleet call back
+		// (internal/fleet, docs/FLEET.md).
+		if !*online {
+			fatal(fmt.Errorf("-fleet requires -online: hot publication targets the live selector"))
+		}
+		src, err := fleet.ReadSourceFile(*fleetIn)
+		if err != nil {
+			fatal(err)
+		}
+		res := fleet.Merge([]fleet.Source{src}, fleet.Options{})
+		frep, err := res.Advise(advisor.Options{Rules: ruleSet})
+		if err != nil {
+			fatal(err)
+		}
+		fplan := advisor.NewPlan(frep)
+		n := fleet.PublishPlan(s.Selector, fplan)
+		fmt.Fprintf(os.Stderr, "chameleon: fleet %s: %d record(s), %d dropped; %d decision(s) planned, %d hot-published\n",
+			*fleetIn, len(src.Profiles), len(src.Errors), fplan.Len(), n)
+	}
 	s.StartGovernor(*govInterval)
 	var checksum uint64
 	var frontend *workloads.FrontendResult
@@ -274,6 +298,9 @@ func printOnlineReport(s *core.Session) {
 	fmt.Printf("\nonline mode: %d allocations received a replaced implementation\n", sel.Replacements())
 	fmt.Printf("guarded adaptation: %d rule evaluations, %d verified, %d rolled back, %d quarantines, %d contained panics\n",
 		sel.Decides(), sel.Verifies(), sel.Rollbacks(), sel.Quarantines(), sel.Panics())
+	if n := sel.Published(); n > 0 {
+		fmt.Printf("fleet: %d externally derived decision(s) hot-published into this session\n", n)
+	}
 	if disabled, msg := sel.Disabled(); disabled {
 		fmt.Printf("selector DISABLED: panic budget exhausted (%s)\n", msg)
 	}

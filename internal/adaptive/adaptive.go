@@ -133,6 +133,16 @@ type decisionState struct {
 	panics    int64
 	rollbacks int64
 	lastErr   string
+
+	// seedOwnerSamples/seedOwnerMoves persist the contention evidence
+	// (the crossGoroutineFraction window statistics) from the evidence
+	// window that triggered the most recent rollback. The next evaluation
+	// after quarantine folds them back into its snapshot, so a rolled-back
+	// concurrent decision re-learns from the contention it already proved
+	// instead of from scratch — the profiler's lifetime aggregate may have
+	// diluted (or, under eviction, lost) that window's evidence by then.
+	seedOwnerSamples int64
+	seedOwnerMoves   int64
 }
 
 // fastDecision is the immutable snapshot served by the lock-free Select
@@ -177,6 +187,8 @@ type Selector struct {
 	// decides counts rule evaluations, to assert exactly-once decisions
 	// under concurrency in tests.
 	decides atomic.Int64
+	// published counts externally injected decisions (fleet hot-publish).
+	published atomic.Int64
 
 	// Guarded-adaptation counters (see docs/ROBUSTNESS.md).
 	verifies    atomic.Int64 // verifications whose premise held
@@ -206,6 +218,61 @@ func (s *Selector) Replacements() int64 { return s.replacements.Load() }
 // Decides reports how many rule evaluations have run (one per decided
 // context unless re-evaluation is enabled or a quarantine expired).
 func (s *Selector) Decides() int64 { return s.decides.Load() }
+
+// Published reports how many externally derived decisions were accepted
+// through Publish.
+func (s *Selector) Published() int64 { return s.published.Load() }
+
+// Publish installs an externally derived decision — a fleet-merge
+// advisory — for one context, behind the same guarded lifecycle online
+// decisions get: the decision enters StatusActive with a verification
+// scheduled and an evidence window requested, so a fleet decision whose
+// premise does not hold in *this* process rolls back through the existing
+// premise-violation path and quarantines like any local mistake. rule may
+// be nil (capacity-only advisories); when present, verification re-checks
+// its guard against post-publish evidence.
+//
+// Publish refuses — returning false — rather than fight the local state
+// machine: when the selector is disabled (panic budget exhausted), when
+// the context is mid-decision or mid-verification, or when it is
+// quarantined with unexpired backoff (local evidence already rejected a
+// decision here; the fleet does not get to shortcut the backoff).
+func (s *Selector) Publish(ctxKey uint64, dec collections.Decision, rule *rules.Rule) bool {
+	if ctxKey == 0 || s.disabled.Load() {
+		return false
+	}
+	v, ok := s.state.Load(ctxKey)
+	if !ok {
+		v, _ = s.state.LoadOrStore(ctxKey, &decisionState{nextCheck: s.opts.MinEvidence})
+	}
+	st := v.(*decisionState)
+	st.mu.Lock()
+	if st.deciding || (st.status == StatusQuarantined && st.allocs.Load() < st.nextCheck) {
+		st.mu.Unlock()
+		return false
+	}
+	st.decided, st.decision, st.useIt, st.rule = true, dec, true, rule
+	st.status = StatusActive
+	if s.opts.VerifyEvery > 0 {
+		st.verifyAt = st.allocs.Load() + s.opts.VerifyEvery
+	}
+	if s.opts.ReevaluateEvery > 0 {
+		st.nextCheck = st.allocs.Load() + s.opts.ReevaluateEvery
+	} else {
+		st.nextCheck = neverCheck
+	}
+	st.publishFastLocked()
+	st.mu.Unlock()
+	s.published.Add(1)
+	if s.opts.VerifyEvery > 0 {
+		// Request the post-publish evidence window. For a context the
+		// profiler has not met yet this is a no-op; runVerify opens it
+		// lazily once allocations flow, so published decisions are never
+		// exempt from verification.
+		s.prof.OpenWindow(ctxKey)
+	}
+	return true
+}
 
 // Decisions reports the currently applied per-context decisions.
 func (s *Selector) Decisions() map[uint64]collections.Decision {
@@ -331,7 +398,7 @@ func (s *Selector) runDecide(st *decisionState, ctxKey uint64, declared spec.Kin
 	defer s.release(st)
 	defer s.contain(st, ctxKey)
 	s.decides.Add(1)
-	d, u, rule, err := s.decide(ctxKey, declared, def)
+	d, u, rule, err := s.decide(st, ctxKey, declared, def)
 	if err != nil {
 		var pe *rules.PanicError
 		if errors.As(err, &pe) {
@@ -374,11 +441,12 @@ func (s *Selector) runDecide(st *decisionState, ctxKey uint64, declared spec.Kin
 // -> LinkedHashSet) requires a program change and is skipped online. The
 // rule backing an applied replacement is returned so verification can
 // re-check its guard against post-decision evidence.
-func (s *Selector) decide(ctxKey uint64, declared spec.Kind, def collections.Decision) (collections.Decision, bool, *rules.Rule, error) {
+func (s *Selector) decide(st *decisionState, ctxKey uint64, declared spec.Kind, def collections.Decision) (collections.Decision, bool, *rules.Rule, error) {
 	p := throughFaults(ctxKey, s.prof.SnapshotContext(ctxKey))
 	if p == nil {
 		return def, false, nil, nil
 	}
+	seedContention(p, st)
 	ms, err := rules.EvalSafe(s.opts.Rules, p, rules.EvalOptions{
 		Params:        s.opts.Params,
 		MaxSizeStdDev: s.opts.MaxSizeStdDev,

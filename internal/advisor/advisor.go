@@ -34,6 +34,46 @@ type Options struct {
 	MinPotential int64
 	// Top limits the report to the N highest-potential contexts (0 = all).
 	Top int
+	// Annotations carries fleet-merge provenance per context string
+	// (internal/fleet attaches them when the snapshot is an aggregate of
+	// many sources). A context flagged Conflicted keeps its suggestion in
+	// the report — annotated, so the disagreement is surfaced instead of
+	// silently averaged — but is excluded from plans (NewPlan) and hence
+	// from hot publication.
+	Annotations map[string]Annotation
+}
+
+// Annotation is fleet-merge provenance for one context: how many sources
+// contributed, how much evidence, and how confidently their views agree.
+// Confidence is 1 minus the worst cross-source divergence observed
+// (op-mix or size mode); Conflicted marks contexts whose sources disagree
+// enough that acting on the pooled statistics would be acting on a smear.
+type Annotation struct {
+	// Sources is the number of distinct fleet sources that contributed.
+	Sources int `json:"sources"`
+	// Evidence is the pooled instance evidence behind the merged stats.
+	Evidence int64 `json:"evidence"`
+	// Confidence in [0,1]: 1 = all sources agree; lower = divergence.
+	Confidence float64 `json:"confidence"`
+	// Conflicted reports Confidence below the merge's threshold.
+	Conflicted bool `json:"conflicted,omitempty"`
+	// Reason names the divergence ("" when none).
+	Reason string `json:"reason,omitempty"`
+	// Outlier is the source most divergent from the pooled view ("" when
+	// none); the ingest ledger charges skew strikes against it.
+	Outlier string `json:"outlier,omitempty"`
+}
+
+// String renders the annotation as the report's bracketed note.
+func (a Annotation) String() string {
+	s := fmt.Sprintf("fleet: %d source(s), evidence %d, confidence %.2f", a.Sources, a.Evidence, a.Confidence)
+	if a.Conflicted {
+		s += " CONFLICTED"
+	}
+	if a.Reason != "" {
+		s += " (" + a.Reason + ")"
+	}
+	return s
 }
 
 // DefaultMinPotential is the default negligible-saving cutoff in bytes.
@@ -63,6 +103,9 @@ type Suggestion struct {
 	Primary rules.Match
 	// Others are the remaining matches in priority order.
 	Others []rules.Match
+	// Annotation is the fleet-merge provenance for this context (nil when
+	// the snapshot came from a single process).
+	Annotation *Annotation
 }
 
 // Describe renders a match as the report's fix phrase.
@@ -122,12 +165,16 @@ func Advise(profiles []*profiler.Profile, opts Options) (*Report, error) {
 		if len(ms) == 0 {
 			continue
 		}
-		rep.Suggestions = append(rep.Suggestions, Suggestion{
+		sug := Suggestion{
 			Rank:    i + 1,
 			Profile: p,
 			Primary: ms[0],
 			Others:  ms[1:],
-		})
+		}
+		if ann, ok := opts.Annotations[p.Context.String()]; ok {
+			sug.Annotation = &ann
+		}
+		rep.Suggestions = append(rep.Suggestions, sug)
 	}
 	return rep, nil
 }
@@ -166,6 +213,9 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "%d: %s:%s %s\n", s.Rank, s.Profile.Declared, s.Profile.Context, Describe(s.Primary))
 		if s.Primary.Rule.Message != "" {
 			fmt.Fprintf(&b, "   %s\n", s.Primary.Rule.Message)
+		}
+		if s.Annotation != nil {
+			fmt.Fprintf(&b, "   [%s]\n", s.Annotation)
 		}
 		for _, o := range s.Others {
 			fmt.Fprintf(&b, "   also: %s\n", Describe(o))
@@ -206,6 +256,7 @@ type suggestionJSON struct {
 	Rule      string            `json:"rule"`
 	Message   string            `json:"message,omitempty"`
 	Others    []string          `json:"others,omitempty"`
+	Fleet     *Annotation       `json:"fleet,omitempty"`
 	Profile   *profiler.Profile `json:"profile,omitempty"`
 }
 
@@ -221,6 +272,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			Fix:       Describe(s.Primary),
 			Rule:      rules.PrintRule(s.Primary.Rule),
 			Message:   s.Primary.Rule.Message,
+			Fleet:     s.Annotation,
 			Profile:   s.Profile,
 		}
 		for _, o := range s.Others {

@@ -28,6 +28,7 @@ type planEntry struct {
 	context  string
 	fix      string
 	action   rules.ActionKind
+	rule     *rules.Rule
 }
 
 // PlanEntry is one compiled decision, exported for consumers that apply
@@ -47,6 +48,10 @@ type PlanEntry struct {
 	Action rules.ActionKind
 	// Fix is the human-readable fix phrase (Describe of the match).
 	Fix string
+	// Rule is the rule whose match produced the decision. Hot publication
+	// hands it to the guarded selector so post-publish verification can
+	// re-check the guard against the session's own evidence.
+	Rule *rules.Rule
 }
 
 // Entries reports every compiled decision, sorted by context label for
@@ -60,6 +65,7 @@ func (p *Plan) Entries() []PlanEntry {
 			Decision:   e.decision,
 			Action:     e.action,
 			Fix:        e.fix,
+			Rule:       e.rule,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Context < out[j].Context })
@@ -78,18 +84,25 @@ func (p *Plan) Entry(ctxKey uint64) (PlanEntry, bool) {
 		Decision:   e.decision,
 		Action:     e.action,
 		Fix:        e.fix,
+		Rule:       e.rule,
 	}, true
 }
 
 // NewPlan extracts the actionable decisions from a report: same-ADT
 // replacements (with their capacity suggestions) and capacity tuning.
 // Cross-ADT advice and the advisory fixes require program changes and are
-// left out.
+// left out, as is any context whose fleet annotation marks it conflicted —
+// sources that disagree about a context's behaviour yield pooled
+// statistics no single process exhibits, and a decision compiled from them
+// would be wrong for every shard at once.
 func NewPlan(rep *Report) *Plan {
 	p := &Plan{decisions: make(map[uint64]planEntry)}
 	for _, s := range rep.Suggestions {
 		key := s.Profile.Context.Key()
 		if key == 0 {
+			continue
+		}
+		if s.Annotation != nil && s.Annotation.Conflicted {
 			continue
 		}
 		declared := s.Profile.Declared
@@ -105,6 +118,7 @@ func NewPlan(rep *Report) *Plan {
 					context:  s.Profile.Context.String(),
 					fix:      Describe(m),
 					action:   rules.ActReplace,
+					rule:     m.Rule,
 				}
 			case rules.ActSetCapacity:
 				if m.Capacity <= 0 {
@@ -115,6 +129,7 @@ func NewPlan(rep *Report) *Plan {
 					context:  s.Profile.Context.String(),
 					fix:      Describe(m),
 					action:   rules.ActSetCapacity,
+					rule:     m.Rule,
 				}
 			default:
 				continue

@@ -209,6 +209,21 @@ func (rt *Runtime) SetSelector(s Selector) {
 	}
 }
 
+// Selector reports the currently installed selector (nil when none). It is
+// the policy-publish surface: fleet ingest reaches a running session's
+// guarded selector through the same copy-on-write pointer every allocation
+// reads, so hot-published decisions and allocation-time selection can
+// never observe a torn policy.
+func (rt *Runtime) Selector() Selector {
+	if rt == nil {
+		return nil
+	}
+	if box := rt.selector.Load(); box != nil {
+		return box.s
+	}
+	return nil
+}
+
 // SetProfilingTier moves the runtime to a rung of the degradation ladder
 // (normally called by the overhead governor; see governor.Tier for the
 // per-tier semantics). rate is the instance-sampling rate for

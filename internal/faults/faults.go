@@ -47,6 +47,13 @@ type Plan struct {
 	// the degradation-ladder tests. Returning fire=false keeps the real
 	// measurement.
 	OverheadSpike func(source string, nanos int64) (inflated int64, fire bool)
+	// IngestSnapshot may replace the bytes the fleet ingest watcher just
+	// read for one source, before any parsing — the "hostile or damaged
+	// delivery" fault (a partially-written file in the watch directory, a
+	// flaky uploader, bit rot in transit). source is the watcher's name
+	// for the origin (the file's base name). Returning fire=false passes
+	// the real bytes through.
+	IngestSnapshot func(source string, data []byte) (mutated []byte, fire bool)
 }
 
 var active atomic.Pointer[Plan]
@@ -126,6 +133,78 @@ func OverheadSpike(source string, nanos int64) (int64, bool) {
 		return nanos, false
 	}
 	return pl.OverheadSpike(source, nanos)
+}
+
+// IngestSnapshot passes one source delivery through the armed plan's
+// ingest fault. Called by the fleet watcher on every read, before parsing.
+func IngestSnapshot(source string, data []byte) ([]byte, bool) {
+	pl := active.Load()
+	if pl == nil || pl.IngestSnapshot == nil {
+		return data, false
+	}
+	return pl.IngestSnapshot(source, data)
+}
+
+// TornPrefix returns an IngestSnapshot hook that truncates every delivery
+// from the named source to frac of its bytes — the partially-written
+// snapshot a crashed (or still-writing) uploader leaves in the watch
+// directory. Other sources pass through untouched.
+func TornPrefix(source string, frac float64) func(string, []byte) ([]byte, bool) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return func(src string, data []byte) ([]byte, bool) {
+		if src != source {
+			return data, false
+		}
+		return data[:int(float64(len(data))*frac)], true
+	}
+}
+
+// AlternateCorrupt returns an IngestSnapshot hook that lets every other
+// delivery from the named source through and corrupts the rest by flipping
+// bits mid-stream — the flapping uploader that alternates valid and
+// damaged snapshots. Safe for concurrent use.
+func AlternateCorrupt(source string) func(string, []byte) ([]byte, bool) {
+	var n atomic.Int64
+	return func(src string, data []byte) ([]byte, bool) {
+		if src != source {
+			return data, false
+		}
+		if n.Add(1)%2 == 1 {
+			return data, false
+		}
+		mutated := append([]byte(nil), data...)
+		for i := len(mutated) / 3; i < len(mutated) && i < len(mutated)/3+64; i++ {
+			mutated[i] ^= 0xFF
+		}
+		return mutated, true
+	}
+}
+
+// CorruptFirstN returns an IngestSnapshot hook that corrupts the first n
+// deliveries from the named source, then goes quiet — the transient outage
+// shape that drives a source through quarantine and back to health. Safe
+// for concurrent use.
+func CorruptFirstN(source string, n int64) func(string, []byte) ([]byte, bool) {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return func(src string, data []byte) ([]byte, bool) {
+		if src != source {
+			return data, false
+		}
+		if remaining.Add(-1) < 0 {
+			return data, false
+		}
+		mutated := append([]byte(nil), data...)
+		for i := range mutated {
+			mutated[i] ^= 0xA5
+		}
+		return mutated, true
+	}
 }
 
 // PanicOnce returns a RuleEvalPanic hook that fires exactly n times with

@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"chameleon/internal/adaptive"
+	"chameleon/internal/advisor"
+)
+
+// PublishPlan hot-publishes a fleet plan into a running session's guarded
+// selector and reports how many decisions were installed. Published
+// decisions are staged, not trusted: each enters the selector as Active
+// with verification scheduled, so the first evidence window after
+// publication re-checks the rule guard and the decision's premises
+// against the process's own behaviour. A fleet decision the local
+// workload contradicts rolls back through the same premise-violation
+// guard path as a locally-made one — quarantine, doubling backoff,
+// contention seed and all (ROBUSTNESS.md).
+//
+// Conflicted contexts never get here: NewPlan drops any suggestion whose
+// fleet annotation failed the confidence threshold.
+func PublishPlan(sel *adaptive.Selector, plan *advisor.Plan) int {
+	if sel == nil || plan == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range plan.Entries() {
+		if sel.Publish(e.ContextKey, e.Decision, e.Rule) {
+			n++
+		}
+	}
+	return n
+}
+
+// SessionPublisher adapts a session's selector to IngestOptions.Publish.
+func SessionPublisher(sel *adaptive.Selector) func(*advisor.Plan) int {
+	return func(plan *advisor.Plan) int { return PublishPlan(sel, plan) }
+}

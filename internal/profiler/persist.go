@@ -179,6 +179,18 @@ func ReadProfiles(r io.Reader) ([]*Profile, error) {
 	return profiles, nil
 }
 
+// ReadProfilesFileReport opens path and reads it with the corruption-
+// tolerant ReadProfilesReport — the form fleet ingest uses, where every
+// input file is treated as hostile until its records checksum.
+func ReadProfilesFileReport(path string) ([]*Profile, []RecordError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadProfilesReport(f)
+}
+
 // ReadProfilesReport is the corruption-tolerant reader: it loads every
 // record that decodes, checksums and validates, and reports the rest as
 // RecordErrors — a damaged snapshot yields its valid prefix plus a

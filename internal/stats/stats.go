@@ -72,6 +72,21 @@ func (w *Welford) Merge(o Welford) {
 	w.n = n
 }
 
+// FromMoments reconstructs an accumulator from its summary moments: the
+// observation count, mean, population standard deviation, and the observed
+// extrema. It is the inverse of (Count, Mean, StdDev, Min, Max), up to
+// floating-point rounding of stddev², and exists so fleet-profile
+// aggregation can rebuild each source's per-context accumulator from a
+// serialized snapshot and combine sources through Merge — the same Chan et
+// al. update the profiler uses — instead of averaging averages. n <= 0
+// reports an empty accumulator.
+func FromMoments(n int64, mean, stddev, min, max float64) Welford {
+	if n <= 0 {
+		return Welford{}
+	}
+	return Welford{n: n, mean: mean, m2: stddev * stddev * float64(n), min: min, max: max}
+}
+
 // Count reports the number of observations.
 func (w *Welford) Count() int64 { return w.n }
 

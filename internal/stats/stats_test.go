@@ -285,3 +285,57 @@ func TestHistogramZeroValueAndEdges(t *testing.T) {
 		t.Fatalf("quantile clamping broken")
 	}
 }
+
+func TestFromMomentsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		var w Welford
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			w.Add(rng.Float64() * 100)
+		}
+		r := FromMoments(w.Count(), w.Mean(), w.StdDev(), w.Min(), w.Max())
+		if r.Count() != w.Count() || r.Min() != w.Min() || r.Max() != w.Max() {
+			t.Fatalf("count/min/max changed: %s vs %s", r.String(), w.String())
+		}
+		if !almostEqual(r.Mean(), w.Mean(), 1e-12) || !almostEqual(r.Variance(), w.Variance(), 1e-9) {
+			t.Fatalf("moments changed: %s vs %s", r.String(), w.String())
+		}
+	}
+}
+
+func TestFromMomentsEmpty(t *testing.T) {
+	r := FromMoments(0, 5, 2, 1, 9)
+	if r.Count() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Fatalf("n<=0 should report an empty accumulator, got %s", r.String())
+	}
+}
+
+// TestFromMomentsMergeMatchesPooled is the property fleet aggregation
+// relies on: rebuilding two sources from their serialized moments and
+// merging them must equal pooling the raw observations.
+func TestFromMomentsMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	err := quick.Check(func(na, nb uint8) bool {
+		var a, b, pooled Welford
+		for i := 0; i < int(na)+1; i++ {
+			x := rng.Float64() * 50
+			a.Add(x)
+			pooled.Add(x)
+		}
+		for i := 0; i < int(nb)+1; i++ {
+			x := 30 + rng.Float64()*50
+			b.Add(x)
+			pooled.Add(x)
+		}
+		m := FromMoments(a.Count(), a.Mean(), a.StdDev(), a.Min(), a.Max())
+		m.Merge(FromMoments(b.Count(), b.Mean(), b.StdDev(), b.Min(), b.Max()))
+		return m.Count() == pooled.Count() &&
+			almostEqual(m.Mean(), pooled.Mean(), 1e-9) &&
+			almostEqual(m.Variance(), pooled.Variance(), 1e-6) &&
+			m.Min() == pooled.Min() && m.Max() == pooled.Max()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
