@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-trajectory analyze apply
+.PHONY: build test race bench-trajectory analyze apply chaos
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,15 @@ apply:
 	$(GO) run ./cmd/chameleon -workload pmd -scale 50 -profile-out $(PROFILE) > /dev/null
 	$(GO) run ./cmd/chameleon-apply -profile $(PROFILE) -diff ./internal/workloads
 	$(GO) run ./cmd/chameleon-apply -profile $(PROFILE) -verify pmd -scale 5 ./internal/workloads
+
+# Chaos soak (docs/ROBUSTNESS.md): seeded fault schedules over every
+# injection seam, all scenarios, with invariant auditors. Violations
+# shrink to replayable reproducers under $(CHAOS_OUT). CI runs this with
+# a larger seed matrix and replays the committed known-good schedule.
+SEEDS ?= 32
+CHAOS_OUT ?= chaos-artifacts
+
+chaos:
+	mkdir -p $(CHAOS_OUT)
+	$(GO) run ./cmd/chameleon-chaos -seeds $(SEEDS) -out $(CHAOS_OUT)
+	$(GO) run ./cmd/chameleon-chaos -replay examples/chaos/known-good.json

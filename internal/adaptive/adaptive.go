@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"chameleon/internal/collections"
+	"chameleon/internal/faults"
 	"chameleon/internal/profiler"
 	"chameleon/internal/rules"
 	"chameleon/internal/spec"
@@ -254,7 +255,7 @@ func (s *Selector) Publish(ctxKey uint64, dec collections.Decision, rule *rules.
 	st.decided, st.decision, st.useIt, st.rule = true, dec, true, rule
 	st.status = StatusActive
 	if s.opts.VerifyEvery > 0 {
-		st.verifyAt = st.allocs.Load() + s.opts.VerifyEvery
+		st.verifyAt = st.allocs.Load() + s.verifyDelay(ctxKey)
 	}
 	if s.opts.ReevaluateEvery > 0 {
 		st.nextCheck = st.allocs.Load() + s.opts.ReevaluateEvery
@@ -345,7 +346,7 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 			// racing each other on one context.
 			action = actVerify
 			st.deciding = true
-			st.verifyAt = st.allocs.Load() + s.opts.VerifyEvery
+			st.verifyAt = st.allocs.Load() + s.verifyDelay(ctxKey)
 		}
 	}
 	st.publishFastLocked()
@@ -370,6 +371,15 @@ func (s *Selector) Select(ctxKey uint64, declared spec.Kind, def collections.Dec
 		return dec
 	}
 	return def
+}
+
+// verifyDelay is the distance (in allocations) to the next verification of
+// ctxKey: the configured VerifyEvery, passed through the clock-skew fault
+// seam. The seam clamps a fired result to at least 1, so an armed skew can
+// reorder or compress the verification schedule but never wedge it.
+func (s *Selector) verifyDelay(ctxKey uint64) int64 {
+	d, _ := faults.VerifySkew(ctxKey, s.opts.VerifyEvery)
+	return d
 }
 
 // release clears the deciding claim. It is installed with defer on every
@@ -420,7 +430,7 @@ func (s *Selector) runDecide(st *decisionState, ctxKey uint64, declared spec.Kin
 	if u {
 		st.status = StatusActive
 		if s.opts.VerifyEvery > 0 {
-			st.verifyAt = st.allocs.Load() + s.opts.VerifyEvery
+			st.verifyAt = st.allocs.Load() + s.verifyDelay(ctxKey)
 		}
 	} else {
 		st.status, st.verifyAt = StatusDefault, 0

@@ -125,6 +125,28 @@ func (s *Selector) Statuses() []ContextStatus {
 	return out
 }
 
+// StuckClaims reports the contexts whose deciding claim is currently held,
+// sorted by key. The claim is transient — taken while a threshold-crossing
+// allocation evaluates or verifies, released by defer even across panics —
+// so on a quiescent selector (no Select calls in flight) a non-empty result
+// means a claim leaked and the context is wedged: it will never decide,
+// verify, or re-decide again. The chaos no-wedge auditor calls this after
+// every run; it is a point-in-time probe and only meaningful at quiescence.
+func (s *Selector) StuckClaims() []uint64 {
+	var out []uint64
+	s.state.Range(func(k, v any) bool {
+		st := v.(*decisionState)
+		st.mu.Lock()
+		if st.deciding {
+			out = append(out, k.(uint64))
+		}
+		st.mu.Unlock()
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Verifies reports how many verifications found the decision's premise
 // still holding.
 func (s *Selector) Verifies() int64 { return s.verifies.Load() }

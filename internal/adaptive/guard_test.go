@@ -205,6 +205,7 @@ func TestCorruptSnapshotContained(t *testing.T) {
 	tbl2 := alloctx.NewTable()
 	key2 := seedContext(prof2, tbl2, "guard.test:corrupt2", 4, 1)
 	sel2 := New(prof2, Options{MinEvidence: 1})
+	faults.Disarm() // explicit hand-off: Arm fails loudly over a live plan
 	faults.ArmT(t, &faults.Plan{CorruptSnapshot: func(_ uint64, snap any) any {
 		p, _ := snap.(*profiler.Profile)
 		if p != nil {

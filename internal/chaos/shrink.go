@@ -1,0 +1,152 @@
+package chaos
+
+import "fmt"
+
+// Shrink reduces a failing schedule to a minimal reproducer: first
+// delta-debugging (ddmin) over the event list, then per-event parameter
+// shrinking — all while the reduced schedule still trips the same
+// auditor. The result carries the auditor name in Violation, so replay
+// can verify the reproducer still reproduces, and a provenance Note.
+//
+// Every candidate is a full deterministic run, so shrinking a schedule of
+// n events costs O(n log n) runs in the best case and O(n²) in the worst.
+// Chaos schedules are small (≤ ~8 events), so this stays cheap.
+func (h *Harness) Shrink(s Schedule, auditor string) Schedule {
+	fails := func(events []Event) bool {
+		cand := s
+		cand.Events = events
+		cand.Violation = ""
+		res, err := h.Run(cand)
+		if err != nil {
+			return false
+		}
+		return res.HasViolation(auditor)
+	}
+
+	events := ddmin(s.Events, fails)
+	events = shrinkParams(events, fails)
+
+	out := s
+	out.Events = events
+	out.Violation = auditor
+	out.Note = fmt.Sprintf("shrunk from %d to %d event(s); reproduces %q deterministically",
+		len(s.Events), len(events), auditor)
+	return out
+}
+
+// ddmin is the classic Zeller/Hildebrandt delta-debugging minimization:
+// repeatedly try removing chunks (and keeping only chunks) at increasing
+// granularity until no single removal preserves the failure.
+func ddmin(events []Event, fails func([]Event) bool) []Event {
+	if len(events) <= 1 || !fails(events) {
+		return events
+	}
+	n := 2
+	for len(events) >= 2 {
+		chunks := split(events, n)
+		reduced := false
+		// Try each chunk alone.
+		for _, c := range chunks {
+			if fails(c) {
+				events, n, reduced = c, 2, true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Try each complement (all but one chunk).
+		if n > 2 {
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if fails(comp) {
+					events, n, reduced = comp, n-1, true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(events) {
+			break
+		}
+		n *= 2
+		if n > len(events) {
+			n = len(events)
+		}
+	}
+	return events
+}
+
+// split partitions events into n near-equal chunks.
+func split(events []Event, n int) [][]Event {
+	var out [][]Event
+	size := len(events) / n
+	rem := len(events) % n
+	pos := 0
+	for i := 0; i < n && pos < len(events); i++ {
+		s := size
+		if i < rem {
+			s++
+		}
+		if s == 0 {
+			continue
+		}
+		out = append(out, events[pos:pos+s])
+		pos += s
+	}
+	return out
+}
+
+// complement concatenates every chunk except the i-th.
+func complement(chunks [][]Event, i int) []Event {
+	var out []Event
+	for j, c := range chunks {
+		if j != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}
+
+// shrinkParams minimizes each surviving event's parameters: the fire
+// window shrinks to one consult (Count=1, walking Start forward through
+// the original window), then Start halves toward 1 — smaller reproducers
+// point closer at the faulty interaction.
+func shrinkParams(events []Event, fails func([]Event) bool) []Event {
+	out := append([]Event(nil), events...)
+	for i := range out {
+		// Narrow the window to a single consult, trying each position the
+		// original window covered.
+		if out[i].Count > 1 {
+			for off := int64(0); off < out[i].Count; off++ {
+				cand := append([]Event(nil), out...)
+				cand[i].Start = out[i].Start + off
+				cand[i].Count = 1
+				if fails(cand) {
+					out = cand
+					break
+				}
+			}
+		}
+		// Pull the start toward 1.
+		for out[i].Start > 1 {
+			cand := append([]Event(nil), out...)
+			cand[i].Start /= 2
+			if !fails(cand) {
+				break
+			}
+			out = cand
+		}
+		// Drop target filters when the failure doesn't need them.
+		if out[i].Target != "" {
+			cand := append([]Event(nil), out...)
+			cand[i].Target = ""
+			if fails(cand) {
+				out = cand
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package chaos
+
+import "testing"
+
+// TestDdminSyntheticPredicate: ddmin over a synthetic failure predicate
+// finds the minimal failing subset without running any scenario.
+func TestDdminSyntheticPredicate(t *testing.T) {
+	mk := func(starts ...int64) []Event {
+		out := make([]Event, len(starts))
+		for i, s := range starts {
+			out[i] = Event{Seam: SeamRulePanic, Start: s, Count: 1}
+		}
+		return out
+	}
+	has := func(events []Event, start int64) bool {
+		for _, e := range events {
+			if e.Start == start {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Failure requires events 3 AND 7 together.
+	fails := func(events []Event) bool { return has(events, 3) && has(events, 7) }
+	got := ddmin(mk(1, 2, 3, 4, 5, 6, 7, 8), fails)
+	if len(got) != 2 || !has(got, 3) || !has(got, 7) {
+		t.Fatalf("ddmin kept %v, want exactly starts 3 and 7", got)
+	}
+
+	// Single culprit.
+	fails1 := func(events []Event) bool { return has(events, 5) }
+	if got := ddmin(mk(1, 3, 5, 7), fails1); len(got) != 1 || got[0].Start != 5 {
+		t.Fatalf("ddmin kept %v, want only start 5", got)
+	}
+
+	// Non-failing input comes back untouched.
+	never := func([]Event) bool { return false }
+	in := mk(1, 2)
+	if got := ddmin(in, never); len(got) != 2 {
+		t.Fatalf("ddmin shrank a non-failing input to %v", got)
+	}
+}
+
+// TestShrinkParamsSynthetic: the parameter pass narrows windows to one
+// consult, pulls starts toward 1, and drops unneeded targets.
+func TestShrinkParamsSynthetic(t *testing.T) {
+	in := []Event{{Seam: SeamRulePanic, Start: 8, Count: 4, Target: "x"}}
+	// Failure needs the window to cover consult 10; target irrelevant.
+	fails := func(events []Event) bool {
+		for _, e := range events {
+			if e.Start <= 10 && 10 < e.Start+e.Count {
+				return true
+			}
+		}
+		return false
+	}
+	got := shrinkParams(in, fails)
+	if len(got) != 1 {
+		t.Fatalf("event count changed: %v", got)
+	}
+	e := got[0]
+	if e.Count != 1 || e.Start != 10 {
+		t.Fatalf("window not minimized: %+v, want Start=10 Count=1", e)
+	}
+	if e.Target != "" {
+		t.Fatalf("unneeded target survived: %+v", e)
+	}
+}

@@ -1,15 +1,18 @@
 // Package faults is the registry-based fault-injection harness for the
-// guarded online path (docs/ROBUSTNESS.md). Tests arm a Plan describing
-// which faults to inject — rule-evaluation panics, corrupted profile
-// snapshots — and the production code consults the registry at two cold
-// seams: the guarded rule-evaluation entry point (rules.EvalSafe) and the
-// online selector's snapshot acquisition. With no plan armed the hooks cost
-// one atomic pointer load on the decide/verify path only; the per-operation
-// hot paths never touch the registry.
+// robustness machinery (docs/ROBUSTNESS.md). Tests — and the chaos
+// harness (internal/chaos) — arm a Plan describing which faults to
+// inject, and the production code consults the registry at cold seams
+// only: rule evaluation, snapshot acquisition and persistence, governor
+// cost readings, fleet ingest deliveries, and verification scheduling
+// (the full catalogue, with every production call site and its disarmed
+// cost, is tabulated in docs/ROBUSTNESS.md). With no plan armed each hook
+// costs one atomic pointer load on its cold path; the per-operation hot
+// paths never touch the registry.
 //
 // The registry is process-global, so tests that arm a plan must Disarm it
-// before returning (use defer) and must not run in t.Parallel with other
-// fault-injection tests.
+// before returning (use defer or ArmT) and must not run in t.Parallel
+// with other fault-injection tests; Arm fails loudly when a different
+// plan is already armed.
 package faults
 
 import (
@@ -54,12 +57,53 @@ type Plan struct {
 	// for the origin (the file's base name). Returning fire=false passes
 	// the real bytes through.
 	IngestSnapshot func(source string, data []byte) (mutated []byte, fire bool)
+	// SnapshotIO, when it returns fire=true, makes a snapshot file
+	// operation fail with the returned error before touching the
+	// filesystem — the "disk died / mount vanished" fault. op is "write"
+	// (profiler.WriteProfilesFile) or "read" (ReadProfilesFileReport);
+	// path is the target file. A nil error with fire=true still fails the
+	// operation (a generic injected I/O error is synthesized).
+	SnapshotIO func(op, path string) (err error, fire bool)
+	// IngestDelay, when it returns fire=true, makes the fleet ingest
+	// watcher skip reading the named source this tick — the "delayed
+	// delivery" fault (slow uploader, network partition, NFS hang). The
+	// delivery is not failed, merely not there yet: staleness and
+	// freshness accounting see a tick with no fresh data.
+	IngestDelay func(source string) (fire bool)
+	// VerifySkew may replace the delay (in allocations) until the online
+	// selector's next verification of ctxKey — the "verification clock
+	// skew" fault: a skewed schedule judges decisions on evidence windows
+	// of the wrong age. Consulted wherever the selector schedules a
+	// verification; the returned delay is clamped to at least 1 so skew
+	// can reorder checks but never wedge the schedule.
+	VerifySkew func(ctxKey uint64, delay int64) (skewed int64, fire bool)
 }
 
 var active atomic.Pointer[Plan]
 
-// Arm installs the plan; it stays active until Disarm.
-func Arm(p *Plan) { active.Store(p) }
+// rearmNote is the failure message for overlapping Arm calls — the package
+// doc's contract, enforced: the registry is process-global, so tests that
+// arm a plan must Disarm it before returning (use defer or ArmT) and must
+// not run in t.Parallel with other fault-injection tests.
+const rearmNote = "faults: Arm: a plan is already armed — the registry is " +
+	"process-global, so tests that arm a plan must Disarm it before " +
+	"returning (use defer or ArmT) and must not run in t.Parallel with " +
+	"other fault-injection tests"
+
+// Arm installs the plan; it stays active until Disarm. Arming while a
+// *different* plan is armed panics instead of silently replacing it:
+// overlapping fault-injection tests would otherwise invalidate each
+// other's hooks without any signal. Re-arming the identical plan is a
+// no-op; Arm(nil) is equivalent to Disarm.
+func Arm(p *Plan) {
+	if p == nil {
+		active.Store(nil)
+		return
+	}
+	if old := active.Swap(p); old != nil && old != p {
+		panic(rearmNote)
+	}
+}
 
 // TB is the subset of *testing.T that ArmT needs. Declared locally so this
 // production-linked package never imports testing.
@@ -145,6 +189,41 @@ func IngestSnapshot(source string, data []byte) ([]byte, bool) {
 	return pl.IngestSnapshot(source, data)
 }
 
+// SnapshotIO consults the armed plan's snapshot file-I/O fault. Called by
+// the snapshot writer and the file reader before touching the filesystem.
+func SnapshotIO(op, path string) (error, bool) {
+	pl := active.Load()
+	if pl == nil || pl.SnapshotIO == nil {
+		return nil, false
+	}
+	return pl.SnapshotIO(op, path)
+}
+
+// IngestDelay consults the armed plan's delayed-delivery fault. Called by
+// the fleet watcher before reading a due source.
+func IngestDelay(source string) bool {
+	pl := active.Load()
+	if pl == nil || pl.IngestDelay == nil {
+		return false
+	}
+	return pl.IngestDelay(source)
+}
+
+// VerifySkew passes one verification-scheduling delay through the armed
+// plan's clock-skew fault. Called by the online selector wherever it
+// schedules a verification; the result is clamped to at least 1.
+func VerifySkew(ctxKey uint64, delay int64) (int64, bool) {
+	pl := active.Load()
+	if pl == nil || pl.VerifySkew == nil {
+		return delay, false
+	}
+	skewed, fire := pl.VerifySkew(ctxKey, delay)
+	if fire && skewed < 1 {
+		skewed = 1
+	}
+	return skewed, fire
+}
+
 // TornPrefix returns an IngestSnapshot hook that truncates every delivery
 // from the named source to frac of its bytes — the partially-written
 // snapshot a crashed (or still-writing) uploader leaves in the watch
@@ -160,7 +239,14 @@ func TornPrefix(source string, frac float64) func(string, []byte) ([]byte, bool)
 		if src != source {
 			return data, false
 		}
-		return data[:int(float64(len(data))*frac)], true
+		cut := int(float64(len(data)) * frac)
+		if cut >= len(data) {
+			// Nothing was truncated (frac rounded up to the full length):
+			// reporting fire=true here would overcount injected faults in
+			// any accounting built on the hook's fire signal.
+			return data, false
+		}
+		return data[:cut], true
 	}
 }
 

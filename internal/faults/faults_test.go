@@ -2,6 +2,7 @@ package faults
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -102,5 +103,156 @@ func TestNewHooksDisarmedAreNoOps(t *testing.T) {
 	}
 	if _, ok := OverheadSpike("flush", 7); ok {
 		t.Fatal("disarmed OverheadSpike fired")
+	}
+	if err, ok := SnapshotIO("write", "x.json"); ok || err != nil {
+		t.Fatal("disarmed SnapshotIO fired")
+	}
+	if IngestDelay("src") {
+		t.Fatal("disarmed IngestDelay fired")
+	}
+	if d, ok := VerifySkew(1, 64); ok || d != 64 {
+		t.Fatalf("disarmed VerifySkew altered the delay: %d", d)
+	}
+}
+
+// TestVerifySkewClampsToOne: skew may reorder verifications but can never
+// schedule one zero-or-negative allocations away (that would wedge the
+// claim machinery on the next allocation forever).
+func TestVerifySkewClampsToOne(t *testing.T) {
+	ArmT(t, &Plan{VerifySkew: func(uint64, int64) (int64, bool) { return -100, true }})
+	d, fire := VerifySkew(7, 64)
+	if !fire || d != 1 {
+		t.Fatalf("VerifySkew(-100) = (%d, %v), want clamped (1, true)", d, fire)
+	}
+}
+
+// TestTornPrefixFullFractionDoesNotFire: when the fraction rounds to the
+// full length nothing is truncated, so the hook must not report a fired
+// fault — an accounting built on the fire signal (the chaos auditors'
+// conservation checks) would otherwise overcount injected damage.
+func TestTornPrefixFullFractionDoesNotFire(t *testing.T) {
+	data := []byte("0123456789")
+	hook := TornPrefix("src", 1)
+	if out, fire := hook("src", data); fire || len(out) != len(data) {
+		t.Fatalf("frac=1: fire=%v len=%d, want untouched pass-through", fire, len(out))
+	}
+	// 0.99 of 10 bytes rounds down to 9: a real truncation, a real fire.
+	if out, fire := TornPrefix("src", 0.99)("src", data); !fire || len(out) != 9 {
+		t.Fatalf("frac=0.99: fire=%v len=%d, want (true, 9)", fire, len(out))
+	}
+	// 0.96 of a 99-byte slice computes 95.04 -> 95: still truncates, fires.
+	long := make([]byte, 99)
+	if out, fire := TornPrefix("src", 0.96)("src", long); !fire || len(out) != 95 {
+		t.Fatalf("frac=0.96: fire=%v len=%d, want (true, 95)", fire, len(out))
+	}
+	if _, fire := TornPrefix("src", 0.5)("other", data); fire {
+		t.Fatal("other source fired")
+	}
+}
+
+// TestArmPanicsOnOverlap: arming a second, different plan over a live one
+// must fail loudly — two overlapping fault-injection tests silently
+// replacing each other's hooks is exactly the cross-test invalidation the
+// package doc forbids. Re-arming the identical plan stays a no-op.
+func TestArmPanicsOnOverlap(t *testing.T) {
+	defer Disarm()
+	a, b := &Plan{}, &Plan{}
+	Arm(a)
+	Arm(a) // identical plan: idempotent, no panic
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Arm silently replaced an armed plan")
+			}
+		}()
+		Arm(b)
+	}()
+	Disarm()
+	Arm(b) // after Disarm the slot is free again
+	if !Armed() {
+		t.Fatal("Arm after Disarm did not arm")
+	}
+}
+
+// TestAlternateCorruptConcurrentExactFires: the flapping-uploader hook
+// under concurrent deliveries must fire on exactly every other delivery of
+// its source — and deliveries from other sources must neither fire nor
+// perturb that count (per-source isolation). Run with -race.
+func TestAlternateCorruptConcurrentExactFires(t *testing.T) {
+	const goroutines, perG = 8, 250
+	hook := AlternateCorrupt("hot")
+	payload := []byte("abcdefghijklmnopqrstuvwxyz0123456789")
+	var hotFires, coldFires, mutations atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if out, fire := hook("hot", payload); fire {
+					hotFires.Add(1)
+					if &out[0] == &payload[0] {
+						t.Error("fired delivery returned the caller's slice, not a corrupted copy")
+						return
+					}
+					mutations.Add(1)
+				} else if &out[0] != &payload[0] {
+					t.Error("pass-through delivery copied the data")
+					return
+				}
+				if _, fire := hook("cold", payload); fire {
+					coldFires.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if got := hotFires.Load(); got != total/2 {
+		t.Fatalf("hot fires = %d, want exactly %d (every other delivery)", got, total/2)
+	}
+	if coldFires.Load() != 0 {
+		t.Fatalf("cold source fired %d times; sources must be isolated", coldFires.Load())
+	}
+	if mutations.Load() != total/2 {
+		t.Fatalf("mutated copies = %d, want %d", mutations.Load(), total/2)
+	}
+}
+
+// TestCorruptFirstNConcurrentExactFires: the transient-outage hook must
+// fire exactly n times no matter how many goroutines deliver concurrently,
+// and other sources must not consume outage budget. Run with -race.
+func TestCorruptFirstNConcurrentExactFires(t *testing.T) {
+	const goroutines, perG, outage = 8, 200, 37
+	hook := CorruptFirstN("hot", outage)
+	payload := []byte("payload-payload-payload")
+	var hotFires, coldFires atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Interleave cold deliveries so a budget leak across sources
+				// would show up as a short hot count.
+				if _, fire := hook("cold", payload); fire {
+					coldFires.Add(1)
+				}
+				if out, fire := hook("hot", payload); fire {
+					hotFires.Add(1)
+					if out[0] == payload[0] {
+						t.Error("fired delivery not corrupted")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := hotFires.Load(); got != outage {
+		t.Fatalf("hot fires = %d, want exactly %d", got, outage)
+	}
+	if coldFires.Load() != 0 {
+		t.Fatalf("cold source fired %d times; outage budget leaked across sources", coldFires.Load())
 	}
 }

@@ -123,11 +123,13 @@ type sourceState struct {
 	strikes     int // consecutive hard failures
 	skewStrikes int // consecutive rounds flagged as skew outlier
 	quarantines int
+	heals       int   // quarantines exited via a clean probation read
 	backoff     int   // current quarantine length in ticks (doubles, never resets)
 	until       int64 // tick at which quarantine expires
 	lastErr     string
 	kept        int64 // valid records ingested over the source's lifetime
 	dropped     int64 // damaged records dropped over the source's lifetime
+	delayed     int64 // reads skipped by the injected delayed-delivery fault
 	lastMod     time.Time
 	lastSize    int64
 	lastFresh   int64 // tick of the last fresh delivery
@@ -146,6 +148,12 @@ type Watcher struct {
 	mu      sync.Mutex
 	tick    int64
 	sources map[string]*sourceState
+
+	// Watcher-level conservation totals, incremented at ingest time
+	// independently of the per-source counters so the chaos auditors can
+	// cross-check that no accounting was lost (Conservation).
+	totKept, totDropped, totDelayed int64
+	totQuarantines, totHeals        int64
 }
 
 // NewWatcher creates a watcher over opts.Dir.
@@ -177,10 +185,12 @@ type SourceHealth struct {
 	Strikes        int    `json:"strikes"`
 	SkewStrikes    int    `json:"skewStrikes,omitempty"`
 	Quarantines    int    `json:"quarantines"`
+	Heals          int    `json:"heals,omitempty"`
 	BackoffTicks   int    `json:"backoffTicks,omitempty"`
 	UntilTick      int64  `json:"quarantinedUntilTick,omitempty"`
 	RecordsKept    int64  `json:"recordsKept"`
 	RecordsDropped int64  `json:"recordsDropped"`
+	RecordsDelayed int64  `json:"recordsDelayed,omitempty"`
 	LastError      string `json:"lastError,omitempty"`
 }
 
@@ -267,6 +277,14 @@ func (w *Watcher) ingestLocked(st *sourceState, info os.FileInfo) {
 		}
 		return
 	}
+	if faults.IngestDelay(st.name) {
+		// Delayed delivery: the data is not there yet, so nothing is read
+		// and no freshness (or staleness) accounting changes — the next
+		// tick sees the file as changed and reads it normally.
+		st.delayed++
+		w.totDelayed++
+		return
+	}
 	st.lastMod, st.lastSize = info.ModTime(), info.Size()
 
 	path := filepath.Join(w.opts.Dir, st.name)
@@ -283,6 +301,7 @@ func (w *Watcher) ingestLocked(st *sourceState, info os.FileInfo) {
 	}
 	src, _ := ReadSource(st.name, bytes.NewReader(data))
 	st.dropped += int64(len(src.Errors))
+	w.totDropped += int64(len(src.Errors))
 	if src.Err != "" || len(src.Profiles) == 0 {
 		reason := src.Err
 		if reason == "" {
@@ -292,8 +311,13 @@ func (w *Watcher) ingestLocked(st *sourceState, info os.FileInfo) {
 		return
 	}
 	// Delivery carried usable data: the source rejoins the fleet.
+	if st.state == StateQuarantined {
+		st.heals++
+		w.totHeals++
+	}
 	st.good = &src
 	st.kept += int64(len(src.Profiles))
+	w.totKept += int64(len(src.Profiles))
 	st.lastFresh = w.tick
 	st.strikes = 0
 	st.until = 0
@@ -332,6 +356,7 @@ func (w *Watcher) quarantineLocked(st *sourceState) {
 	}
 	st.state = StateQuarantined
 	st.quarantines++
+	w.totQuarantines++
 	st.until = w.tick + int64(st.backoff)
 	st.strikes = 0
 	st.skewStrikes = 0
@@ -379,8 +404,10 @@ func (w *Watcher) ledgerLocked() Ledger {
 			Strikes:        st.strikes,
 			SkewStrikes:    st.skewStrikes,
 			Quarantines:    st.quarantines,
+			Heals:          st.heals,
 			RecordsKept:    st.kept,
 			RecordsDropped: st.dropped,
+			RecordsDelayed: st.delayed,
 			LastError:      st.lastErr,
 		}
 		if st.state == StateQuarantined {
@@ -398,6 +425,32 @@ func (w *Watcher) Ledger() Ledger {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.ledgerLocked()
+}
+
+// Conservation is the watcher-level accounting total, maintained at ingest
+// time independently of the per-source ledger counters. The conservation
+// invariant — every total equals the sum of its column across ledger rows —
+// is what the chaos auditors check: a mismatch means a delivery's
+// accounting was lost (a row reset, a source dropped from the map).
+type Conservation struct {
+	RecordsKept    int64 `json:"recordsKept"`
+	RecordsDropped int64 `json:"recordsDropped"`
+	RecordsDelayed int64 `json:"recordsDelayed"`
+	Quarantines    int64 `json:"quarantines"`
+	Heals          int64 `json:"heals"`
+}
+
+// Conservation snapshots the watcher-level accounting totals.
+func (w *Watcher) Conservation() Conservation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Conservation{
+		RecordsKept:    w.totKept,
+		RecordsDropped: w.totDropped,
+		RecordsDelayed: w.totDelayed,
+		Quarantines:    w.totQuarantines,
+		Heals:          w.totHeals,
+	}
 }
 
 // Run ticks the watcher every interval until stop closes, delivering each

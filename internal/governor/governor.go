@@ -304,6 +304,17 @@ func (g *Governor) Health() Health {
 	return h
 }
 
+// Calm reports the current streak of consecutive ticks measured below the
+// low watermark — the recovery credit toward the next upward step. The
+// chaos auditors use it together with Tier to prove the ladder is actually
+// recovering after an injected overhead spike subsides (a ladder stuck
+// below TierFull with zero accruing calm is wedged, not merely slow).
+func (g *Governor) Calm() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calm
+}
+
 // Transitions returns the retained transition history (oldest first).
 func (g *Governor) Transitions() []Transition {
 	g.mu.Lock()

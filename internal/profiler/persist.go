@@ -133,6 +133,12 @@ func WriteProfilesFile(path string, profiles []*Profile) error {
 	if err := WriteProfiles(&buf, profiles); err != nil {
 		return err
 	}
+	if err, fire := faults.SnapshotIO("write", path); fire {
+		if err == nil {
+			err = fmt.Errorf("profiler: injected snapshot write failure: %s", path)
+		}
+		return err
+	}
 	data := buf.Bytes()
 	if torn, ok := faults.TornWrite(data); ok {
 		return os.WriteFile(path, torn, 0o644)
@@ -183,6 +189,12 @@ func ReadProfiles(r io.Reader) ([]*Profile, error) {
 // tolerant ReadProfilesReport — the form fleet ingest uses, where every
 // input file is treated as hostile until its records checksum.
 func ReadProfilesFileReport(path string) ([]*Profile, []RecordError, error) {
+	if err, fire := faults.SnapshotIO("read", path); fire {
+		if err == nil {
+			err = fmt.Errorf("profiler: injected snapshot read failure: %s", path)
+		}
+		return nil, nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
